@@ -1,0 +1,226 @@
+// Benchmarks: one per experiment in DESIGN.md §4. Each benchmark iteration
+// executes a complete (shortened) simulation of the corresponding
+// experiment and reports domain metrics alongside the usual ns/op:
+//
+//	stab_ms     virtual stabilization time (milliseconds)
+//	events/op   simulator events executed per run
+//	vevents/s   simulator throughput (virtual events per wall second)
+//	msgs/op     messages sent per run
+//
+// The full-length experiments (with tables) are produced by
+// `go run ./cmd/experiments`; these benches use shorter horizons so that
+// `go test -bench=. -benchmem` stays fast while still exercising every
+// experiment path.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// benchRun executes one harness run and reports standard metrics.
+func benchRun(b *testing.B, cfg harness.Config) {
+	b.Helper()
+	b.ReportAllocs()
+	var events, msgs uint64
+	var stab time.Duration
+	var elapsed time.Duration
+	for i := 0; i < b.N; i++ {
+		// Vary the seed per iteration so the benchmark averages over
+		// schedules rather than re-measuring one.
+		cfg.Params.Seed = uint64(i) + 1
+		res, err := harness.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+		msgs += res.NetStats.Sent
+		elapsed += res.Elapsed
+		if res.Report.Stabilized {
+			stab += res.StabilizationTime()
+		}
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(events)/n, "events/op")
+	b.ReportMetric(float64(msgs)/n, "msgs/op")
+	b.ReportMetric(float64(stab.Milliseconds())/n, "stab_ms")
+	if elapsed > 0 {
+		b.ReportMetric(float64(events)/elapsed.Seconds(), "vevents/s")
+	}
+}
+
+// BenchmarkF1Election measures election under the A' families for each core
+// variant (experiment F1-ELECT).
+func BenchmarkF1Election(b *testing.B) {
+	for _, algo := range []harness.Algorithm{harness.AlgoFig1, harness.AlgoFig2, harness.AlgoFig3} {
+		b.Run(string(algo), func(b *testing.B) {
+			benchRun(b, harness.Config{
+				Family:   scenario.FamilyCombined,
+				Params:   scenario.Params{N: 5, T: 2},
+				Algo:     algo,
+				Duration: 5 * time.Second,
+			})
+		})
+	}
+}
+
+// BenchmarkF2Intermittent measures the intermittent-star runs that separate
+// Figure 1 from Figures 2/3 (experiment F2-INTERMIT).
+func BenchmarkF2Intermittent(b *testing.B) {
+	for _, algo := range []harness.Algorithm{harness.AlgoFig1, harness.AlgoFig2, harness.AlgoFig3} {
+		b.Run(string(algo), func(b *testing.B) {
+			benchRun(b, harness.Config{
+				Family:   scenario.FamilyIntermittent,
+				Params:   scenario.Params{N: 5, T: 2, D: 4},
+				Algo:     algo,
+				Duration: 10 * time.Second,
+			})
+		})
+	}
+}
+
+// BenchmarkF3Bounded measures the bounded-variable runs with a crash and
+// full invariant checking (experiment F3-BOUNDED).
+func BenchmarkF3Bounded(b *testing.B) {
+	benchRun(b, harness.Config{
+		Family: scenario.FamilyIntermittent,
+		Params: scenario.Params{
+			N: 5, T: 2, D: 3, Center: 1,
+			Crashes: []scenario.Crash{{ID: 3, At: sim.Time(time.Second)}},
+		},
+		Algo:        harness.AlgoFig3,
+		Duration:    10 * time.Second,
+		CheckSpread: true,
+	})
+}
+
+// BenchmarkF4FG measures the §7 algorithm under growing gaps and delays
+// (experiment F4-FG).
+func BenchmarkF4FG(b *testing.B) {
+	benchRun(b, harness.Config{
+		Family: scenario.FamilyIntermittentFG,
+		Params: scenario.Params{
+			N: 5, T: 2, D: 4,
+			F: func(k int64) int64 { return k / 2 },
+			G: func(rn int64) time.Duration { return time.Duration(rn) * 20 * time.Microsecond },
+		},
+		Algo:     harness.AlgoFG,
+		Duration: 10 * time.Second,
+	})
+}
+
+// BenchmarkT5Consensus measures the Ω+consensus stack (experiment
+// T5-CONSENSUS): instances decided per run and their latency.
+func BenchmarkT5Consensus(b *testing.B) {
+	b.ReportAllocs()
+	var decided int
+	var latency time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunConsensus(harness.ConsensusConfig{
+			Family:    scenario.FamilyCombined,
+			Params:    scenario.Params{N: 5, T: 2, Seed: uint64(i) + 1},
+			Instances: 10,
+			Duration:  15 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Agreement || !res.Validity {
+			b.Fatal("safety violated")
+		}
+		decided += res.Decided
+		latency += res.MeanLatency
+	}
+	b.ReportMetric(float64(decided)/float64(b.N), "decided/op")
+	b.ReportMetric(float64(latency.Milliseconds())/float64(b.N), "latency_ms")
+}
+
+// BenchmarkC1GridCell measures representative coverage-grid cells
+// (experiment C1-COVERAGE): the adversarial families are the heaviest
+// simulations in the suite.
+func BenchmarkC1GridCell(b *testing.B) {
+	spec := harness.GridSpec{N: 5, T: 2, Duration: 10 * time.Second}
+	cells := []struct {
+		fam  scenario.Family
+		algo harness.Algorithm
+	}{
+		{scenario.FamilyAllTimely, harness.AlgoStable},
+		{scenario.FamilyPattern, harness.AlgoTimeFree},
+		{scenario.FamilyIntermittent, harness.AlgoFig3},
+	}
+	for _, c := range cells {
+		b.Run(string(c.fam)+"/"+string(c.algo), func(b *testing.B) {
+			cfg := harness.GridCellConfig(spec, c.fam, c.algo)
+			benchRun(b, cfg)
+		})
+	}
+}
+
+// BenchmarkQ1GapSweep measures stabilization cost as the intermittence gap
+// D grows (experiment Q1-STAB-D).
+func BenchmarkQ1GapSweep(b *testing.B) {
+	for _, d := range []int64{1, 4, 16} {
+		b.Run(fmt.Sprintf("D=%d", d), func(b *testing.B) {
+			benchRun(b, harness.Config{
+				Family:   scenario.FamilyIntermittent,
+				Params:   scenario.Params{N: 5, T: 2, D: d},
+				Algo:     harness.AlgoFig3,
+				Duration: 10 * time.Second,
+			})
+		})
+	}
+}
+
+// BenchmarkQ2Scale measures simulator and protocol cost as the system grows
+// (experiment Q2-STAB-N).
+func BenchmarkQ2Scale(b *testing.B) {
+	for _, n := range []int{3, 5, 9, 13} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchRun(b, harness.Config{
+				Family:   scenario.FamilyCombined,
+				Params:   scenario.Params{N: n, T: (n - 1) / 2},
+				Algo:     harness.AlgoFig3,
+				Duration: 5 * time.Second,
+			})
+		})
+	}
+}
+
+// BenchmarkQ3DeltaSweep measures timeout calibration against the timeliness
+// bound (experiment Q3-TIMEOUT).
+func BenchmarkQ3DeltaSweep(b *testing.B) {
+	for _, delta := range []time.Duration{time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond} {
+		b.Run(delta.String(), func(b *testing.B) {
+			benchRun(b, harness.Config{
+				Family:   scenario.FamilyTSource,
+				Params:   scenario.Params{N: 5, T: 2, Delta: delta},
+				Algo:     harness.AlgoFig3,
+				Duration: 10 * time.Second,
+			})
+		})
+	}
+}
+
+// BenchmarkA1Ablation measures the ablated variants on the schedule where
+// the removed mechanism matters (experiment A1-ABLATION).
+func BenchmarkA1Ablation(b *testing.B) {
+	params := scenario.Params{
+		N: 5, T: 2, D: 3, Center: 1,
+		Crashes: []scenario.Crash{{ID: 3, At: sim.Time(time.Second)}},
+	}
+	for _, algo := range []harness.Algorithm{harness.AlgoFig1, harness.AlgoFig2, harness.AlgoFig3} {
+		b.Run(string(algo), func(b *testing.B) {
+			benchRun(b, harness.Config{
+				Family:   scenario.FamilyIntermittent,
+				Params:   params,
+				Algo:     algo,
+				Duration: 10 * time.Second,
+			})
+		})
+	}
+}

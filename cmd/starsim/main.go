@@ -1,0 +1,140 @@
+// Command starsim runs one leader-election scenario on the deterministic
+// simulator and prints a report. It is the interactive entry point for
+// exploring the system; the full experiment suite lives in cmd/experiments.
+//
+// Examples:
+//
+//	go run ./cmd/starsim                                  # defaults
+//	go run ./cmd/starsim -family intermittent -algo fig1 -d 4 -duration 60s
+//	go run ./cmd/starsim -n 9 -t 4 -algo fig3 -crash 2@3s -crash 5@6s
+//	go run ./cmd/starsim -family tsource -algo timefree -seed 7 -timeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/proc"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// crashList implements flag.Value for repeated -crash id@time flags.
+type crashList []scenario.Crash
+
+func (c *crashList) String() string {
+	var parts []string
+	for _, cr := range *c {
+		parts = append(parts, fmt.Sprintf("%d@%v", cr.ID, time.Duration(cr.At)))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (c *crashList) Set(s string) error {
+	id, at, ok := strings.Cut(s, "@")
+	if !ok {
+		return fmt.Errorf("want id@duration, e.g. 2@3s, got %q", s)
+	}
+	pid, err := strconv.Atoi(id)
+	if err != nil {
+		return fmt.Errorf("bad process id %q: %w", id, err)
+	}
+	d, err := time.ParseDuration(at)
+	if err != nil {
+		return fmt.Errorf("bad crash time %q: %w", at, err)
+	}
+	*c = append(*c, scenario.Crash{ID: pid, At: sim.Time(d)})
+	return nil
+}
+
+func main() {
+	var (
+		family   = flag.String("family", "combined", "assumption family: alltimely|tsource|movingsource|pattern|movingpattern|combined|intermittent|intermittentfg")
+		algo     = flag.String("algo", "fig3", "algorithm: fig1|fig2|fig3|fg|stable|timefree")
+		n        = flag.Int("n", 5, "number of processes")
+		t        = flag.Int("t", 2, "resilience (max crashes tolerated)")
+		center   = flag.Int("center", 0, "star center process id")
+		d        = flag.Int64("d", 1, "intermittence gap D (star every D rounds)")
+		delta    = flag.Duration("delta", 2*time.Millisecond, "timeliness bound delta")
+		duration = flag.Duration("duration", 20*time.Second, "virtual run length")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		spread   = flag.Bool("checkspread", false, "verify the Lemma 8 invariant on every delivery")
+		timeline = flag.Bool("timeline", false, "print the leader timeline (changes only)")
+		crashes  crashList
+	)
+	flag.Var(&crashes, "crash", "crash schedule entry id@time (repeatable), e.g. -crash 2@3s")
+	flag.Parse()
+
+	algorithm, err := harness.ParseAlgorithm(*algo)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := harness.Config{
+		Family: scenario.Family(*family),
+		Params: scenario.Params{
+			N: *n, T: *t, Seed: *seed,
+			Center:  *center,
+			D:       *d,
+			Delta:   *delta,
+			Crashes: crashes,
+		},
+		Algo:         algorithm,
+		Duration:     *duration,
+		CheckSpread:  *spread,
+		KeepTimeline: *timeline,
+	}
+	res, err := harness.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("scenario   %s — %s\n", res.Sc.Name, res.Sc.Description)
+	fmt.Printf("system     n=%d t=%d alpha=%d seed=%d\n", *n, *t, res.Sc.Params.Alpha, *seed)
+	fmt.Printf("algorithm  %s for %v of virtual time (%v wall)\n", algorithm, *duration, res.Elapsed.Round(time.Millisecond))
+	fmt.Println()
+	if res.Report.Stabilized {
+		fmt.Printf("ELECTED    process %d at %v (all correct processes agree through the end)\n",
+			res.Report.Leader, res.StabilizationTime())
+	} else {
+		fmt.Printf("NO STABLE LEADER (last disagreement at %v)\n", time.Duration(res.Report.LastDisagreement))
+	}
+	fmt.Printf("churn      %d leadership changes over %d samples\n", res.Report.Changes, res.Report.Samples)
+	fmt.Printf("messages   %d sent (%d bytes), %d delivered, %d to crashed processes\n",
+		res.NetStats.Sent, res.NetStats.Bytes, res.NetStats.Delivered, res.NetStats.Dropped)
+	for kind, count := range res.NetStats.ByKind {
+		fmt.Printf("           %-10s %8d (%d bytes)\n", kind.String(), count, res.NetStats.BytesKind[kind])
+	}
+	fmt.Printf("events     %d simulator events\n", res.Events)
+	if res.RoundsDone > 0 {
+		fmt.Printf("rounds     %d receiving rounds completed\n", res.RoundsDone)
+		fmt.Printf("levels     max ever %d, empirical B %d (Theorem 4 bound holds: %v)\n",
+			res.MaxSuspLevel, res.BoundB, res.BoundOK)
+		fmt.Printf("timeouts   stable: %v, final per process: %v\n", res.TimeoutsStable, res.FinalTimeouts)
+	}
+	if cfg.CheckSpread {
+		fmt.Printf("lemma 8    %d spread violations (want 0)\n", res.SpreadViolations)
+	}
+	fmt.Printf("leaders    at end: %v\n", res.LeaderAtEnd)
+
+	if *timeline {
+		fmt.Println("\nleader timeline (changes of process 0's estimate):")
+		prev := proc.ID(-2)
+		for _, s := range res.Timeline {
+			l := s.Leaders[0]
+			if l != prev {
+				fmt.Printf("  %10v  leader=%d  all=%v\n", time.Duration(s.At).Round(time.Millisecond), l, s.Leaders)
+				prev = l
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "starsim:", err)
+	os.Exit(1)
+}

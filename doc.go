@@ -1,0 +1,13 @@
+// Package repro is a reproduction of Fernández & Raynal, "From an
+// intermittent rotating star to a leader" (IRISA PI-1810 / PODC 2007): the
+// eventual-leader (Ω) algorithms of the paper's Figures 1-3 and §7, the
+// assumption families they are correct under, the classical baselines they
+// generalize, and an Ω-driven consensus and atomic-broadcast stack on top
+// (Theorem 5) — all runnable on a deterministic discrete-event simulator and
+// on a live goroutine runtime.
+//
+// Start with README.md; the layout, system inventory and experiment index
+// are in DESIGN.md; measured results are in EXPERIMENTS.md. The benchmarks
+// in this package (bench_test.go) regenerate a short version of every
+// experiment; the full tables come from cmd/experiments.
+package repro

@@ -1,0 +1,243 @@
+// Package abcast implements total-order (atomic) broadcast on top of
+// repeated Ω-based consensus — the application the paper points to for its
+// leader oracle ([3,12]: consensus as a subroutine for atomic broadcast).
+//
+// Architecture: every process diffuses its payloads to everybody
+// (reliable-link flooding); a sequence of consensus instances 0,1,2,...
+// decides, per slot, which pending message comes next. The Ω leader proposes
+// the smallest unsequenced pending message for the next free slot; any
+// decided slot is delivered in slot order once its content is known.
+// Duplicate sequencing (two leaders racing the same message into two slots)
+// is resolved at delivery time: a slot whose message was already delivered
+// is skipped.
+//
+// Properties (checked by the tests):
+//   - Validity: a delivered message was broadcast by some process.
+//   - Integrity: no message is delivered twice.
+//   - Total order: all correct processes deliver the same sequence.
+//   - Liveness: messages broadcast by correct processes are eventually
+//     delivered, given Ω's eventual leadership and t < n/2.
+package abcast
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/proc"
+	"repro/internal/wire"
+)
+
+// timerPropose drives the sequencing duty cycle.
+const timerPropose proc.TimerKey = 0
+
+// Delivery is one totally-ordered delivery event.
+type Delivery struct {
+	Slot    int64
+	Sender  proc.ID
+	Payload int64
+}
+
+// Config parameterizes a Node.
+type Config struct {
+	N, T int
+
+	// Oracle is the Ω leader hint (shared with the consensus lane).
+	Oracle func() proc.ID
+
+	// ProposePeriod is the sequencing duty-cycle period. 0 means 50ms.
+	ProposePeriod time.Duration
+
+	// OnDeliver, when non-nil, observes every delivery in order.
+	OnDeliver func(d Delivery)
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProposePeriod == 0 {
+		c.ProposePeriod = 50 * time.Millisecond
+	}
+	return c
+}
+
+// key encodes (sender, localID) as the int64 consensus value:
+// sender in the top 15 bits (below the sign bit), localID in the low 48.
+func key(sender proc.ID, localID int64) int64 {
+	return int64(sender)<<48 | (localID & (1<<48 - 1))
+}
+
+func splitKey(k int64) (sender proc.ID, localID int64) {
+	return proc.ID(k >> 48), k & (1<<48 - 1)
+}
+
+// Node is the total-order broadcast endpoint of one process. It owns its
+// consensus lane's proposals; the two nodes are wired by NewPair.
+type Node struct {
+	cfg  Config
+	env  proc.Env
+	cons *consensus.Node
+
+	nextLocalID int64
+	contents    map[int64]int64 // key -> payload (diffused contents)
+	sequenced   map[int64]bool  // keys decided into some slot
+	delivered   map[int64]bool  // keys already delivered
+	decisions   map[int64]int64 // slot -> key
+	nextDeliver int64           // next slot to deliver
+	nextPropose int64           // next slot this process will propose for
+	log         []Delivery
+	crashed     bool
+}
+
+// NewPair builds the broadcast node together with its dedicated consensus
+// node. Register both on the same Mux (consensus lane first is customary but
+// not required).
+func NewPair(cfg Config) (*Node, *consensus.Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Oracle == nil {
+		return nil, nil, fmt.Errorf("abcast: Oracle is required")
+	}
+	n := &Node{
+		cfg:       cfg,
+		contents:  make(map[int64]int64),
+		sequenced: make(map[int64]bool),
+		delivered: make(map[int64]bool),
+		decisions: make(map[int64]int64),
+	}
+	cons, err := consensus.New(consensus.Config{
+		N: cfg.N, T: cfg.T,
+		Oracle:   cfg.Oracle,
+		OnDecide: n.onDecide,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	n.cons = cons
+	return n, cons, nil
+}
+
+// Start implements proc.Node.
+func (n *Node) Start(env proc.Env) {
+	n.env = env
+	env.SetTimer(timerPropose, n.cfg.ProposePeriod)
+}
+
+// OnCrash implements proc.Crashable.
+func (n *Node) OnCrash() { n.crashed = true }
+
+// Broadcast submits a payload for total-order delivery.
+func (n *Node) Broadcast(payload int64) {
+	if n.crashed {
+		return
+	}
+	n.nextLocalID++
+	m := &wire.ABCast{Sender: int32(n.env.ID()), LocalID: n.nextLocalID, Payload: payload}
+	proc.BroadcastAll(n.env, m)
+}
+
+// Log returns the deliveries so far, in order.
+func (n *Node) Log() []Delivery {
+	out := make([]Delivery, len(n.log))
+	copy(out, n.log)
+	return out
+}
+
+// OnMessage implements proc.Node (the diffusion lane).
+func (n *Node) OnMessage(from proc.ID, msg any) {
+	if n.crashed {
+		return
+	}
+	m, ok := msg.(*wire.ABCast)
+	if !ok {
+		panic(fmt.Sprintf("abcast: unexpected message %T", msg))
+	}
+	k := key(proc.ID(m.Sender), m.LocalID)
+	if _, seen := n.contents[k]; seen {
+		return
+	}
+	n.contents[k] = m.Payload
+	n.drain()
+}
+
+// OnTimer implements proc.Node: the sequencing duty cycle.
+func (n *Node) OnTimer(tk proc.TimerKey) {
+	if n.crashed {
+		return
+	}
+	if tk != timerPropose {
+		panic(fmt.Sprintf("abcast: unknown timer %d", tk))
+	}
+	if n.cfg.Oracle() == n.env.ID() {
+		n.proposePending()
+	}
+	n.env.SetTimer(timerPropose, n.cfg.ProposePeriod)
+}
+
+// proposePending pushes unsequenced pending messages into free slots, in
+// deterministic (key) order so that concurrent leaders collide as little as
+// possible.
+func (n *Node) proposePending() {
+	var pending []int64
+	for k := range n.contents {
+		if !n.sequenced[k] && !n.delivered[k] {
+			pending = append(pending, k)
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+	if n.nextPropose < n.nextDeliver {
+		n.nextPropose = n.nextDeliver
+	}
+	for _, k := range pending {
+		// Skip slots already decided locally.
+		for {
+			if _, done := n.decisions[n.nextPropose]; !done {
+				break
+			}
+			n.nextPropose++
+		}
+		n.cons.Propose(n.nextPropose, k)
+		n.nextPropose++
+	}
+}
+
+// onDecide is the consensus lane's decision callback.
+func (n *Node) onDecide(slot, k int64) {
+	n.decisions[slot] = k
+	n.sequenced[k] = true
+	n.drain()
+}
+
+// drain delivers decided slots in order while their contents are known.
+func (n *Node) drain() {
+	for {
+		k, ok := n.decisions[n.nextDeliver]
+		if !ok {
+			return
+		}
+		if n.delivered[k] {
+			// Duplicate sequencing of an already-delivered message:
+			// the slot is skipped by everyone (decisions are common).
+			n.nextDeliver++
+			continue
+		}
+		payload, have := n.contents[k]
+		if !have {
+			return // wait for diffusion to catch up
+		}
+		sender, _ := splitKey(k)
+		n.delivered[k] = true
+		d := Delivery{Slot: n.nextDeliver, Sender: sender, Payload: payload}
+		n.log = append(n.log, d)
+		n.nextDeliver++
+		if n.cfg.OnDeliver != nil {
+			n.cfg.OnDeliver(d)
+		}
+	}
+}
+
+var (
+	_ proc.Node      = (*Node)(nil)
+	_ proc.Crashable = (*Node)(nil)
+)

@@ -1,0 +1,239 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/proc"
+	"repro/internal/wire"
+)
+
+// TimeFreeConfig parameterizes TimeFreeNode.
+type TimeFreeConfig struct {
+	N, T int
+	// Alpha is the reception/suspicion threshold; 0 means N-T.
+	Alpha int
+	// Period is the beacon period; 0 means 10ms.
+	Period time.Duration
+	// Retention prunes per-round bookkeeping (0 keeps everything).
+	Retention int64
+}
+
+func (c TimeFreeConfig) withDefaults() TimeFreeConfig {
+	if c.Alpha == 0 {
+		c.Alpha = c.N - c.T
+	}
+	if c.Period == 0 {
+		c.Period = 10 * time.Millisecond
+	}
+	return c
+}
+
+// TimeFreeNode is the query/response-style time-free baseline [16,18]. It
+// reuses the ALIVE/SUSPICION wire format of the core algorithm (a beacon
+// playing the role of the query's response set) but has NO timers in its
+// suspicion path: a receiving round closes as soon as alpha beacons for it
+// have been received, and the processes not heard from by then are the
+// round's losers. Counters rise when alpha processes suspect the same
+// process in the same round, and are gossiped on beacons (pointwise max).
+//
+// The structural difference from core.Node (Figure 1) is the absence of the
+// timer conjunct in the round guard, which is precisely what makes the
+// construction time-free — and what makes it unable to exploit δ-timely
+// links that do not win reception races.
+type TimeFreeNode struct {
+	cfg TimeFreeConfig
+	env proc.Env
+
+	sRN, rRN     int64
+	counter      []int64
+	recFrom      map[int64]*bitset.Set
+	suspicions   map[int64][]int32
+	suspReported map[int64]*bitset.Set
+	maxRoundSeen int64
+	crashed      bool
+}
+
+// NewTimeFree builds the time-free baseline for one process.
+func NewTimeFree(cfg TimeFreeConfig) (*TimeFreeNode, error) {
+	cfg = cfg.withDefaults()
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("baseline: N must be >= 2, got %d", cfg.N)
+	}
+	if cfg.Alpha < 2 || cfg.Alpha > cfg.N {
+		// Alpha 1 would close rounds instantly with only the local
+		// process, livelocking the guard (see core's Zeno note).
+		return nil, fmt.Errorf("baseline: Alpha must be in [2,%d], got %d", cfg.N, cfg.Alpha)
+	}
+	return &TimeFreeNode{
+		cfg:          cfg,
+		counter:      make([]int64, cfg.N),
+		recFrom:      make(map[int64]*bitset.Set),
+		suspicions:   make(map[int64][]int32),
+		suspReported: make(map[int64]*bitset.Set),
+	}, nil
+}
+
+// Start implements proc.Node.
+func (n *TimeFreeNode) Start(env proc.Env) {
+	n.env = env
+	n.rRN = 1
+	n.beacon()
+}
+
+func (n *TimeFreeNode) beacon() {
+	n.sRN++
+	cs := make([]int64, len(n.counter))
+	copy(cs, n.counter)
+	proc.Broadcast(n.env, &wire.Alive{RN: n.sRN, SuspLevel: cs})
+	n.env.SetTimer(timerBeacon, n.cfg.Period)
+}
+
+// OnTimer implements proc.Node.
+func (n *TimeFreeNode) OnTimer(key proc.TimerKey) {
+	if n.crashed {
+		return
+	}
+	if key != timerBeacon {
+		panic(fmt.Sprintf("baseline: unknown timer %d", key))
+	}
+	n.beacon()
+}
+
+// OnMessage implements proc.Node.
+func (n *TimeFreeNode) OnMessage(from proc.ID, msg any) {
+	if n.crashed {
+		return
+	}
+	switch m := msg.(type) {
+	case *wire.Alive:
+		n.onBeacon(from, m)
+	case *wire.Suspicion:
+		n.onSuspicion(from, m)
+	default:
+		panic(fmt.Sprintf("baseline: timefree received %T", msg))
+	}
+}
+
+func (n *TimeFreeNode) onBeacon(from proc.ID, m *wire.Alive) {
+	n.noteRound(m.RN)
+	for k, v := range m.SuspLevel {
+		if k < len(n.counter) && v > n.counter[k] {
+			n.counter[k] = v
+		}
+	}
+	if m.RN < n.rRN {
+		return
+	}
+	row := n.recFrom[m.RN]
+	if row == nil {
+		row = bitset.New(n.cfg.N)
+		row.Add(n.env.ID())
+		n.recFrom[m.RN] = row
+	}
+	row.Add(from)
+	// Time-free guard: the round closes on alpha receptions alone.
+	for {
+		cur := n.recFrom[n.rRN]
+		if cur == nil {
+			cur = bitset.New(n.cfg.N)
+			cur.Add(n.env.ID())
+			n.recFrom[n.rRN] = cur
+		}
+		if cur.Count() < n.cfg.Alpha {
+			return
+		}
+		suspects := cur.Complement()
+		proc.BroadcastAll(n.env, &wire.Suspicion{RN: n.rRN, Suspects: suspects})
+		delete(n.recFrom, n.rRN)
+		n.rRN++
+	}
+}
+
+func (n *TimeFreeNode) onSuspicion(from proc.ID, m *wire.Suspicion) {
+	n.noteRound(m.RN)
+	rep := n.suspReported[m.RN]
+	if rep == nil {
+		rep = bitset.New(n.cfg.N)
+		n.suspReported[m.RN] = rep
+	}
+	if rep.Contains(from) {
+		return
+	}
+	rep.Add(from)
+	counts := n.suspicions[m.RN]
+	if counts == nil {
+		counts = make([]int32, n.cfg.N)
+		n.suspicions[m.RN] = counts
+	}
+	m.Suspects.ForEach(func(k int) {
+		counts[k]++
+		if int(counts[k]) >= n.cfg.Alpha {
+			n.counter[k]++
+		}
+	})
+	n.prune()
+}
+
+// OnCrash implements proc.Crashable.
+func (n *TimeFreeNode) OnCrash() { n.crashed = true }
+
+// Leader implements proc.LeaderOracle: min (counter, id).
+func (n *TimeFreeNode) Leader() proc.ID {
+	best := 0
+	for j := 1; j < n.cfg.N; j++ {
+		if n.counter[j] < n.counter[best] {
+			best = j
+		}
+	}
+	return best
+}
+
+// Rounds returns the current sending and receiving round numbers (used by
+// the harness's round probe, mirroring core.Node).
+func (n *TimeFreeNode) Rounds() (sRN, rRN int64) { return n.sRN, n.rRN }
+
+// Counters returns a copy of the counter array (for tests and checkers).
+func (n *TimeFreeNode) Counters() []int64 {
+	out := make([]int64, len(n.counter))
+	copy(out, n.counter)
+	return out
+}
+
+func (n *TimeFreeNode) noteRound(rn int64) {
+	if rn > n.maxRoundSeen {
+		n.maxRoundSeen = rn
+	}
+}
+
+func (n *TimeFreeNode) prune() {
+	if n.cfg.Retention == 0 {
+		return
+	}
+	horizon := n.maxRoundSeen - n.cfg.Retention
+	if horizon <= 0 {
+		return
+	}
+	for rn := range n.suspicions {
+		if rn < horizon {
+			delete(n.suspicions, rn)
+		}
+	}
+	for rn := range n.suspReported {
+		if rn < horizon {
+			delete(n.suspReported, rn)
+		}
+	}
+	for rn := range n.recFrom {
+		if rn < horizon && rn < n.rRN {
+			delete(n.recFrom, rn)
+		}
+	}
+}
+
+var (
+	_ proc.Node         = (*TimeFreeNode)(nil)
+	_ proc.Crashable    = (*TimeFreeNode)(nil)
+	_ proc.LeaderOracle = (*TimeFreeNode)(nil)
+)

@@ -1,0 +1,351 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 200} {
+		s := New(n)
+		if s.Len() != n {
+			t.Errorf("New(%d).Len() = %d", n, s.Len())
+		}
+		if got := s.Count(); got != 0 {
+			t.Errorf("New(%d).Count() = %d, want 0", n, got)
+		}
+		if !s.Empty() {
+			t.Errorf("New(%d) not empty", n)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130)
+	elems := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, e := range elems {
+		if s.Contains(e) {
+			t.Errorf("fresh set contains %d", e)
+		}
+		s.Add(e)
+		if !s.Contains(e) {
+			t.Errorf("after Add(%d), Contains=false", e)
+		}
+	}
+	if got := s.Count(); got != len(elems) {
+		t.Fatalf("Count = %d, want %d", got, len(elems))
+	}
+	for _, e := range elems {
+		s.Remove(e)
+		if s.Contains(e) {
+			t.Errorf("after Remove(%d), Contains=true", e)
+		}
+	}
+	if !s.Empty() {
+		t.Fatal("set not empty after removing all")
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	s.Add(3)
+	if got := s.Count(); got != 1 {
+		t.Fatalf("Count after double Add = %d, want 1", got)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	s := New(10)
+	if s.Contains(-1) || s.Contains(10) || s.Contains(100) {
+		t.Error("Contains out-of-range returned true")
+	}
+	for _, bad := range []int{-1, 10} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%d) did not panic", bad)
+				}
+			}()
+			s.Add(bad)
+		}()
+	}
+}
+
+func TestFill(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 65, 130} {
+		s := New(n)
+		s.Fill()
+		if got := s.Count(); got != n {
+			t.Errorf("Fill n=%d Count=%d", n, got)
+		}
+		for i := 0; i < n; i++ {
+			if !s.Contains(i) {
+				t.Errorf("Fill n=%d missing %d", n, i)
+			}
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	s := FromMembers(7, 0, 2, 4)
+	c := s.Complement()
+	want := FromMembers(7, 1, 3, 5, 6)
+	if !c.Equal(want) {
+		t.Fatalf("Complement = %v, want %v", c, want)
+	}
+	// Complement twice is identity.
+	if !c.Complement().Equal(s) {
+		t.Fatal("double complement is not identity")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromMembers(10, 1, 2, 3)
+	b := FromMembers(10, 3, 4, 5)
+
+	u := a.Clone()
+	u.UnionWith(b)
+	if want := FromMembers(10, 1, 2, 3, 4, 5); !u.Equal(want) {
+		t.Errorf("union = %v, want %v", u, want)
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	if want := FromMembers(10, 3); !i.Equal(want) {
+		t.Errorf("intersect = %v, want %v", i, want)
+	}
+
+	d := a.Clone()
+	d.DifferenceWith(b)
+	if want := FromMembers(10, 1, 2); !d.Equal(want) {
+		t.Errorf("difference = %v, want %v", d, want)
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	a := FromMembers(10, 1, 2)
+	b := FromMembers(10, 1, 2, 3)
+	if !a.SubsetOf(b) {
+		t.Error("a should be subset of b")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b should not be subset of a")
+	}
+	if !a.SubsetOf(a) {
+		t.Error("a should be subset of itself")
+	}
+	empty := New(10)
+	if !empty.SubsetOf(a) {
+		t.Error("empty should be subset of anything")
+	}
+}
+
+func TestUniverseMismatchPanics(t *testing.T) {
+	a := New(5)
+	b := New(6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UnionWith with mismatched universe did not panic")
+		}
+	}()
+	a.UnionWith(b)
+}
+
+func TestMembersSorted(t *testing.T) {
+	s := FromMembers(200, 199, 0, 64, 63, 65, 128)
+	want := []int{0, 63, 64, 65, 128, 199}
+	if got := s.Members(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Members = %v, want %v", got, want)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromMembers(10, 1)
+	b := a.Clone()
+	b.Add(2)
+	if a.Contains(2) {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := FromMembers(10, 1, 2)
+	b := New(10)
+	b.CopyFrom(a)
+	if !a.Equal(b) {
+		t.Fatal("CopyFrom did not copy")
+	}
+	b.Add(5)
+	if a.Contains(5) {
+		t.Fatal("CopyFrom aliased storage")
+	}
+}
+
+func TestWordsRoundTrip(t *testing.T) {
+	s := FromMembers(130, 0, 64, 129)
+	w := s.Words()
+	r := New(130)
+	r.SetWords(w)
+	if !s.Equal(r) {
+		t.Fatalf("Words/SetWords round trip: got %v want %v", r, s)
+	}
+}
+
+func TestSetWordsMasksExcessBits(t *testing.T) {
+	r := New(66)
+	r.SetWords([]uint64{^uint64(0), ^uint64(0)})
+	if got := r.Count(); got != 66 {
+		t.Fatalf("Count after SetWords with all-ones = %d, want 66", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromMembers(5, 0, 2, 4).String(); got != "{0,2,4}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(5).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+// refSet is a map-based reference implementation for property testing.
+type refSet map[int]bool
+
+func randomPair(r *rand.Rand) (*Set, refSet) {
+	n := 1 + r.Intn(180)
+	s := New(n)
+	ref := refSet{}
+	for k := 0; k < r.Intn(3*n); k++ {
+		e := r.Intn(n)
+		s.Add(e)
+		ref[e] = true
+	}
+	return s, ref
+}
+
+func agree(s *Set, ref refSet) bool {
+	if s.Count() != len(ref) {
+		return false
+	}
+	for e := range ref {
+		if !s.Contains(e) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuickAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s, ref := randomPair(r)
+		// Random interleaved operations.
+		for op := 0; op < 200; op++ {
+			e := r.Intn(s.Len())
+			switch r.Intn(3) {
+			case 0:
+				s.Add(e)
+				ref[e] = true
+			case 1:
+				s.Remove(e)
+				delete(ref, e)
+			case 2:
+				if s.Contains(e) != ref[e] {
+					return false
+				}
+			}
+		}
+		return agree(s, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// Complement(A union B) == Complement(A) intersect Complement(B).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(150)
+		a, b := New(n), New(n)
+		for k := 0; k < n; k++ {
+			if r.Intn(2) == 0 {
+				a.Add(k)
+			}
+			if r.Intn(2) == 0 {
+				b.Add(k)
+			}
+		}
+		lhs := a.Clone()
+		lhs.UnionWith(b)
+		lhs = lhs.Complement()
+
+		rhs := a.Complement()
+		rhs.IntersectWith(b.Complement())
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionCountBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, refA := randomPair(r)
+		b := New(a.Len())
+		for k := 0; k < a.Len(); k++ {
+			if r.Intn(2) == 0 {
+				b.Add(k)
+			}
+		}
+		u := a.Clone()
+		u.UnionWith(b)
+		// |A ∪ B| >= max(|A|,|B|), <= |A|+|B|, and A,B ⊆ A∪B.
+		if u.Count() < a.Count() || u.Count() < b.Count() || u.Count() > a.Count()+b.Count() {
+			return false
+		}
+		_ = refA
+		return a.SubsetOf(u) && b.SubsetOf(u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAddContains(b *testing.B) {
+	s := New(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := i & 127
+		s.Add(e)
+		if !s.Contains(e) {
+			b.Fatal("missing")
+		}
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	s := New(256)
+	for i := 0; i < 256; i += 3 {
+		s.Add(i)
+	}
+	b.ReportAllocs()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		s.ForEach(func(e int) { sum += e })
+	}
+	_ = sum
+}

@@ -1,0 +1,217 @@
+// Package check turns the paper's correctness properties into measurable
+// verdicts over simulation traces:
+//
+//   - Eventual leadership (the Ω property, §2.2): there is a time after
+//     which every correct process's leader() returns the same correct
+//     process. AnalyzeLeaders detects it on a sampled leader timeline and
+//     reports the stabilization time.
+//   - Lemma 8 (Figure 3): within one process, max(susp_level) -
+//     min(susp_level) <= 1 at every state. SpreadOK checks one state.
+//   - Theorem 4 (Figure 3): no susp_level entry is ever larger than B+1,
+//     where B is the smallest over j of the largest value ever taken by any
+//     susp_level_i[j]. A BoundTracker accumulates the per-target global
+//     maxima; since max_j B_j is the largest value ever seen anywhere,
+//     Theorem 4 holds on a trace iff max_j B_j <= min_j B_j + 1.
+package check
+
+import (
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// LeaderSample is one synchronized observation of every process's leader
+// estimate. Crashed processes are recorded as proc.None.
+type LeaderSample struct {
+	At      sim.Time
+	Leaders []proc.ID
+}
+
+// StabilizationReport is the verdict of AnalyzeLeaders.
+type StabilizationReport struct {
+	// Stabilized is true when all correct processes agreed on the same
+	// correct leader from StabilizedAt through the end of the run, and
+	// that agreement suffix is at least MinTailFraction of the run.
+	Stabilized bool
+	// Leader is the agreed leader (valid when Stabilized).
+	Leader proc.ID
+	// StabilizedAt is the first sample time of the agreement suffix.
+	StabilizedAt sim.Time
+	// Changes counts samples in which some correct process's estimate
+	// differed from the previous sample (leadership churn).
+	Changes int
+	// Samples is the number of samples analyzed.
+	Samples int
+	// LastDisagreement is the time of the last sample NOT in the final
+	// agreement suffix (-1 when agreement held from the first sample).
+	LastDisagreement sim.Time
+}
+
+// MinTailFraction is the fraction of the run that must be covered by the
+// final agreement suffix for "Stabilized" to be declared: agreement that
+// only appears in the last few samples of a run is indistinguishable from a
+// transient and is not counted.
+const MinTailFraction = 0.2
+
+// AnalyzeLeaders computes a StabilizationReport. correct reports whether a
+// process was correct (never crashed) during the run; samples must be in
+// time order. An empty timeline is never stabilized.
+func AnalyzeLeaders(samples []LeaderSample, correct func(proc.ID) bool) StabilizationReport {
+	rep := StabilizationReport{Samples: len(samples), StabilizedAt: -1, LastDisagreement: -1}
+	if len(samples) == 0 {
+		return rep
+	}
+
+	agreeOn := func(s LeaderSample) (proc.ID, bool) {
+		leader := proc.None
+		for id, l := range s.Leaders {
+			if !correct(id) {
+				continue
+			}
+			if l == proc.None {
+				return proc.None, false
+			}
+			if leader == proc.None {
+				leader = l
+			} else if l != leader {
+				return proc.None, false
+			}
+		}
+		if leader == proc.None || !correct(leader) {
+			return proc.None, false
+		}
+		return leader, true
+	}
+
+	// Count churn.
+	for i := 1; i < len(samples); i++ {
+		for id := range samples[i].Leaders {
+			if !correct(id) {
+				continue
+			}
+			if samples[i].Leaders[id] != samples[i-1].Leaders[id] {
+				rep.Changes++
+				break
+			}
+		}
+	}
+
+	// The run must end in agreement on a correct leader.
+	finalLeader, ok := agreeOn(samples[len(samples)-1])
+	if !ok {
+		return rep
+	}
+
+	// Walk backwards to the start of the agreement suffix.
+	start := len(samples) - 1
+	for start > 0 {
+		l, ok := agreeOn(samples[start-1])
+		if !ok || l != finalLeader {
+			break
+		}
+		start--
+	}
+	if start > 0 {
+		rep.LastDisagreement = samples[start-1].At
+	}
+
+	first, last := samples[0].At, samples[len(samples)-1].At
+	suffix := last.Sub(samples[start].At)
+	total := last.Sub(first)
+	if total <= 0 {
+		return rep
+	}
+	if float64(suffix) < MinTailFraction*float64(total) {
+		return rep // agreement too recent to call stable
+	}
+	rep.Stabilized = true
+	rep.Leader = finalLeader
+	rep.StabilizedAt = samples[start].At
+	return rep
+}
+
+// SpreadOK checks the Lemma 8 invariant on one susp_level array:
+// max - min <= 1.
+func SpreadOK(levels []int64) bool {
+	if len(levels) == 0 {
+		return true
+	}
+	min, max := levels[0], levels[0]
+	for _, v := range levels[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return max-min <= 1
+}
+
+// BoundTracker accumulates, across all processes and all times, the largest
+// value ever taken by susp_level[·][j] for each target j (the paper's B_j),
+// and evaluates the Theorem 4 bound.
+type BoundTracker struct {
+	maxPerTarget []int64
+}
+
+// NewBoundTracker creates a tracker for n processes.
+func NewBoundTracker(n int) *BoundTracker {
+	return &BoundTracker{maxPerTarget: make([]int64, n)}
+}
+
+// Observe folds one process's current susp_level array into the tracker.
+func (b *BoundTracker) Observe(levels []int64) {
+	for j, v := range levels {
+		if j < len(b.maxPerTarget) && v > b.maxPerTarget[j] {
+			b.maxPerTarget[j] = v
+		}
+	}
+}
+
+// B returns min_j B_j, the paper's bound B (only meaningful at end of run).
+func (b *BoundTracker) B() int64 {
+	if len(b.maxPerTarget) == 0 {
+		return 0
+	}
+	min := b.maxPerTarget[0]
+	for _, v := range b.maxPerTarget[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// MaxEver returns max_j B_j, the largest susp_level value seen anywhere.
+func (b *BoundTracker) MaxEver() int64 {
+	var max int64
+	for _, v := range b.maxPerTarget {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// BoundOK reports the Theorem 4 verdict: every value ever seen is <= B+1.
+func (b *BoundTracker) BoundOK() bool {
+	return b.MaxEver() <= b.B()+1
+}
+
+// TimeoutStable reports whether the timeout series stabilized: the last
+// change happened at most tailFraction of the way from the end. Series must
+// be time-ordered (value at sample i).
+func TimeoutStable(series []time.Duration, tailFraction float64) bool {
+	if len(series) < 2 {
+		return true
+	}
+	lastChange := 0
+	for i := 1; i < len(series); i++ {
+		if series[i] != series[i-1] {
+			lastChange = i
+		}
+	}
+	return float64(len(series)-lastChange) >= tailFraction*float64(len(series))
+}

@@ -1,0 +1,182 @@
+package check
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+func sampleSeq(leaders ...[]proc.ID) []LeaderSample {
+	out := make([]LeaderSample, len(leaders))
+	for i, l := range leaders {
+		out[i] = LeaderSample{At: sim.Time(i) * sim.Time(time.Second), Leaders: l}
+	}
+	return out
+}
+
+func allCorrect(proc.ID) bool { return true }
+
+func TestAnalyzeLeadersStable(t *testing.T) {
+	// 10 samples, agreement on 1 from sample 4 onwards.
+	var samples []LeaderSample
+	for i := 0; i < 10; i++ {
+		l := []proc.ID{1, 1, 1}
+		if i < 4 {
+			l = []proc.ID{0, 1, 2}
+		}
+		samples = append(samples, LeaderSample{At: sim.Time(i) * sim.Time(time.Second), Leaders: l})
+	}
+	rep := AnalyzeLeaders(samples, allCorrect)
+	if !rep.Stabilized {
+		t.Fatal("not stabilized")
+	}
+	if rep.Leader != 1 {
+		t.Errorf("leader = %d", rep.Leader)
+	}
+	if rep.StabilizedAt != sim.Time(4*time.Second) {
+		t.Errorf("stabilizedAt = %v", rep.StabilizedAt)
+	}
+	if rep.Changes == 0 {
+		t.Error("churn not counted")
+	}
+}
+
+func TestAnalyzeLeadersDisagreementAtEnd(t *testing.T) {
+	rep := AnalyzeLeaders(sampleSeq(
+		[]proc.ID{1, 1, 1},
+		[]proc.ID{1, 1, 1},
+		[]proc.ID{1, 2, 1},
+	), allCorrect)
+	if rep.Stabilized {
+		t.Fatal("stabilized despite final disagreement")
+	}
+}
+
+func TestAnalyzeLeadersFaultyLeaderRejected(t *testing.T) {
+	correct := func(id proc.ID) bool { return id != 2 }
+	var samples []LeaderSample
+	for i := 0; i < 10; i++ {
+		samples = append(samples, LeaderSample{
+			At:      sim.Time(i) * sim.Time(time.Second),
+			Leaders: []proc.ID{2, 2, proc.None}, // all elect the crashed 2
+		})
+	}
+	rep := AnalyzeLeaders(samples, correct)
+	if rep.Stabilized {
+		t.Fatal("stabilized on a crashed leader")
+	}
+}
+
+func TestAnalyzeLeadersIgnoresCrashedEstimates(t *testing.T) {
+	correct := func(id proc.ID) bool { return id != 2 }
+	var samples []LeaderSample
+	for i := 0; i < 10; i++ {
+		samples = append(samples, LeaderSample{
+			At:      sim.Time(i) * sim.Time(time.Second),
+			Leaders: []proc.ID{0, 0, proc.None}, // 2 crashed; others agree on 0
+		})
+	}
+	rep := AnalyzeLeaders(samples, correct)
+	if !rep.Stabilized || rep.Leader != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestAnalyzeLeadersTooRecentAgreement(t *testing.T) {
+	// Agreement only in the last sample of 50: below MinTailFraction.
+	var samples []LeaderSample
+	for i := 0; i < 50; i++ {
+		l := []proc.ID{0, 1, 0}
+		if i == 49 {
+			l = []proc.ID{0, 0, 0}
+		}
+		samples = append(samples, LeaderSample{At: sim.Time(i) * sim.Time(time.Second), Leaders: l})
+	}
+	rep := AnalyzeLeaders(samples, allCorrect)
+	if rep.Stabilized {
+		t.Fatal("stabilized despite agreement only at the last sample")
+	}
+}
+
+func TestAnalyzeLeadersEmpty(t *testing.T) {
+	rep := AnalyzeLeaders(nil, allCorrect)
+	if rep.Stabilized {
+		t.Fatal("empty timeline stabilized")
+	}
+}
+
+func TestAnalyzeLeadersAllAgreeAlways(t *testing.T) {
+	var samples []LeaderSample
+	for i := 0; i < 10; i++ {
+		samples = append(samples, LeaderSample{At: sim.Time(i) * sim.Time(time.Second), Leaders: []proc.ID{3, 3, 3, 3}})
+	}
+	rep := AnalyzeLeaders(samples, allCorrect)
+	if !rep.Stabilized || rep.StabilizedAt != 0 || rep.Changes != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestSpreadOK(t *testing.T) {
+	cases := []struct {
+		levels []int64
+		ok     bool
+	}{
+		{nil, true},
+		{[]int64{0, 0, 0}, true},
+		{[]int64{3, 4, 3}, true},
+		{[]int64{3, 5, 3}, false},
+		{[]int64{7}, true},
+		{[]int64{0, 2}, false},
+	}
+	for _, c := range cases {
+		if got := SpreadOK(c.levels); got != c.ok {
+			t.Errorf("SpreadOK(%v) = %v, want %v", c.levels, got, c.ok)
+		}
+	}
+}
+
+func TestBoundTracker(t *testing.T) {
+	b := NewBoundTracker(3)
+	b.Observe([]int64{0, 1, 0})
+	b.Observe([]int64{2, 1, 3})
+	b.Observe([]int64{2, 2, 3})
+	// B_j = [2, 2, 3]; B = 2; MaxEver = 3 <= B+1 -> ok.
+	if b.B() != 2 {
+		t.Errorf("B = %d", b.B())
+	}
+	if b.MaxEver() != 3 {
+		t.Errorf("MaxEver = %d", b.MaxEver())
+	}
+	if !b.BoundOK() {
+		t.Error("BoundOK = false, want true")
+	}
+	// Violate: one target shoots to 5.
+	b.Observe([]int64{0, 0, 5})
+	if b.BoundOK() {
+		t.Error("BoundOK = true after violation")
+	}
+}
+
+func TestBoundTrackerEmpty(t *testing.T) {
+	b := NewBoundTracker(0)
+	if !b.BoundOK() || b.B() != 0 || b.MaxEver() != 0 {
+		t.Error("empty tracker not trivially OK")
+	}
+}
+
+func TestTimeoutStable(t *testing.T) {
+	ms := time.Millisecond
+	stable := []time.Duration{ms, 2 * ms, 3 * ms, 3 * ms, 3 * ms, 3 * ms, 3 * ms, 3 * ms, 3 * ms, 3 * ms}
+	if !TimeoutStable(stable, 0.5) {
+		t.Error("stable series reported unstable")
+	}
+	unstable := []time.Duration{ms, 2 * ms, 3 * ms, 4 * ms, 5 * ms, 6 * ms, 7 * ms, 8 * ms, 9 * ms, 10 * ms}
+	if TimeoutStable(unstable, 0.5) {
+		t.Error("growing series reported stable")
+	}
+	if !TimeoutStable(nil, 0.5) || !TimeoutStable([]time.Duration{ms}, 0.5) {
+		t.Error("degenerate series should be stable")
+	}
+}

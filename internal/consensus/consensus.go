@@ -1,0 +1,349 @@
+// Package consensus implements the Ω-based indulgent consensus of the
+// paper's Theorem 5: "consensus can be solved in any message-passing
+// asynchronous system with a majority of correct processes and an
+// intermittent rotating t-star". The algorithm is the classic leader-driven
+// ballot protocol (Paxos-style single-decree, in the family of the
+// leader-based consensus algorithms the paper cites [8,12,17]), multi-
+// instance so that a total-order broadcast can run on top (internal/abcast).
+//
+// Structure per instance:
+//
+//   - Proposers are driven by the Ω oracle: a process attempts a ballot only
+//     while the oracle names it leader, and retries with a higher ballot on
+//     a timer until a decision is learned. Several simultaneous "leaders"
+//     are safe (ballots totally ordered); a single eventual leader makes the
+//     protocol live — this is exactly the indulgence property of §1.1.
+//   - Acceptors maintain (promised, accepted, value); quorums are majorities
+//     (the Theorem 5 requirement t < n/2).
+//   - Decisions are broadcast and are idempotent; processes answer ballot
+//     messages for decided instances with the decision (catch-up).
+//
+// Safety (agreement, validity) holds regardless of the oracle's behaviour;
+// only termination depends on Ω's eventual leadership — the defining
+// property of an indulgent algorithm [7].
+package consensus
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/wire"
+)
+
+// timerRetry drives proposer retries.
+const timerRetry proc.TimerKey = 0
+
+// Config parameterizes a consensus node.
+type Config struct {
+	N, T int
+
+	// Oracle returns the current Ω leader hint; typically the Leader
+	// method of a co-hosted core.Node. Required.
+	Oracle func() proc.ID
+
+	// RetryPeriod is how often an undecided proposer re-examines its
+	// duty (and escalates its ballot). 0 means 100ms.
+	RetryPeriod time.Duration
+
+	// OnDecide, when non-nil, is invoked exactly once per instance at
+	// the moment this process learns the decision.
+	OnDecide func(instance, value int64)
+}
+
+func (c Config) withDefaults() Config {
+	if c.RetryPeriod == 0 {
+		c.RetryPeriod = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Validate reports configuration errors (Theorem 5 needs t < n/2).
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("consensus: N must be >= 2, got %d", c.N)
+	}
+	if c.T < 0 || 2*c.T >= c.N {
+		return fmt.Errorf("consensus: need a majority of correct processes (t < n/2), got n=%d t=%d", c.N, c.T)
+	}
+	if c.Oracle == nil {
+		return fmt.Errorf("consensus: Oracle is required")
+	}
+	return nil
+}
+
+// instance is the per-instance protocol state.
+type instance struct {
+	// Acceptor state.
+	promised    wire.Ballot
+	accepted    wire.Ballot
+	acceptedVal int64
+	hasAccepted bool
+
+	// Proposer state.
+	proposal    int64
+	hasProposal bool
+	ballot      wire.Ballot // current attempt (zero when idle)
+	phase       int         // 0 idle, 1 collecting promises, 2 collecting accepts
+	votes       map[proc.ID]bool
+	chosenVal   int64       // value being pushed in phase 2
+	pickBallot  wire.Ballot // highest accepted ballot seen among promises
+	pickVal     int64
+	pickHas     bool
+
+	// Learner state.
+	decided    bool
+	decidedVal int64
+}
+
+// Node is a multi-instance consensus participant.
+type Node struct {
+	cfg Config
+	env proc.Env
+
+	instances  map[int64]*instance
+	maxCounter int64 // highest ballot counter seen anywhere (for escalation)
+	crashed    bool
+
+	// Metrics.
+	Ballots  uint64 // ballots started
+	Nacks    uint64 // NACKs received
+	Decide2B uint64 // decisions learned
+}
+
+// New builds a consensus node.
+func New(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Node{cfg: cfg, instances: make(map[int64]*instance)}, nil
+}
+
+// quorum returns the majority size.
+func (n *Node) quorum() int { return n.cfg.N/2 + 1 }
+
+// Start implements proc.Node.
+func (n *Node) Start(env proc.Env) {
+	n.env = env
+	env.SetTimer(timerRetry, n.cfg.RetryPeriod)
+}
+
+// OnCrash implements proc.Crashable.
+func (n *Node) OnCrash() { n.crashed = true }
+
+// Propose submits a value for an instance. The first proposal wins locally;
+// re-proposing a different value for the same instance is ignored (callers
+// sequence their own values). Proposing for a decided instance is a no-op.
+func (n *Node) Propose(inst, value int64) {
+	if n.crashed {
+		return
+	}
+	st := n.inst(inst)
+	if st.hasProposal || st.decided {
+		return
+	}
+	st.proposal = value
+	st.hasProposal = true
+	n.maybeLead(inst, st)
+}
+
+// Decided returns the decided value for an instance, if known.
+func (n *Node) Decided(inst int64) (int64, bool) {
+	st, ok := n.instances[inst]
+	if !ok || !st.decided {
+		return 0, false
+	}
+	return st.decidedVal, true
+}
+
+func (n *Node) inst(i int64) *instance {
+	st := n.instances[i]
+	if st == nil {
+		st = &instance{}
+		n.instances[i] = st
+	}
+	return st
+}
+
+// OnTimer implements proc.Node: the retry loop re-launches ballots for
+// undecided instances while the oracle names this process leader.
+func (n *Node) OnTimer(key proc.TimerKey) {
+	if n.crashed {
+		return
+	}
+	if key != timerRetry {
+		panic(fmt.Sprintf("consensus: unknown timer %d", key))
+	}
+	for inst, st := range n.instances {
+		if st.hasProposal && !st.decided {
+			// Restarting from scratch each period is safe (ballots
+			// only grow) and guarantees progress once Ω stabilizes.
+			st.phase = 0
+			n.maybeLead(inst, st)
+		}
+	}
+	n.env.SetTimer(timerRetry, n.cfg.RetryPeriod)
+}
+
+// maybeLead starts a ballot when the oracle points at this process.
+func (n *Node) maybeLead(inst int64, st *instance) {
+	if st.decided || !st.hasProposal || st.phase != 0 {
+		return
+	}
+	if n.cfg.Oracle() != n.env.ID() {
+		return
+	}
+	n.maxCounter++
+	st.ballot = wire.Ballot{Counter: n.maxCounter, Proposer: int32(n.env.ID())}
+	st.phase = 1
+	st.votes = make(map[proc.ID]bool)
+	st.pickHas = false
+	st.pickBallot = wire.Ballot{}
+	n.Ballots++
+	proc.BroadcastAll(n.env, &wire.Prepare{Instance: inst, Ballot: st.ballot})
+}
+
+// OnMessage implements proc.Node.
+func (n *Node) OnMessage(from proc.ID, msg any) {
+	if n.crashed {
+		return
+	}
+	switch m := msg.(type) {
+	case *wire.Prepare:
+		n.onPrepare(from, m)
+	case *wire.Promise:
+		n.onPromise(from, m)
+	case *wire.Accept:
+		n.onAccept(from, m)
+	case *wire.Accepted:
+		n.onAccepted(from, m)
+	case *wire.Decide:
+		n.learn(m.Instance, m.Value)
+	default:
+		panic(fmt.Sprintf("consensus: unexpected message %T", msg))
+	}
+}
+
+func (n *Node) noteCounter(b wire.Ballot) {
+	if b.Counter > n.maxCounter {
+		n.maxCounter = b.Counter
+	}
+}
+
+func (n *Node) onPrepare(from proc.ID, m *wire.Prepare) {
+	st := n.inst(m.Instance)
+	n.noteCounter(m.Ballot)
+	if st.decided {
+		n.env.Send(from, &wire.Decide{Instance: m.Instance, Value: st.decidedVal})
+		return
+	}
+	if st.promised.Less(m.Ballot) {
+		st.promised = m.Ballot
+		n.env.Send(from, &wire.Promise{
+			Instance:   m.Instance,
+			Ballot:     m.Ballot,
+			AcceptedAt: st.accepted,
+			Value:      st.acceptedVal,
+			HasValue:   st.hasAccepted,
+		})
+		return
+	}
+	n.env.Send(from, &wire.Promise{Instance: m.Instance, Ballot: st.promised, NACK: true})
+}
+
+func (n *Node) onPromise(from proc.ID, m *wire.Promise) {
+	st := n.inst(m.Instance)
+	n.noteCounter(m.Ballot)
+	if m.NACK {
+		if st.phase == 1 && !st.ballot.Less(m.Ballot) {
+			return // stale NACK for an older attempt of ours
+		}
+		if st.phase != 0 {
+			st.phase = 0 // abandon; the retry timer escalates
+			n.Nacks++
+		}
+		return
+	}
+	if st.phase != 1 || m.Ballot != st.ballot || st.decided {
+		return // stale or foreign promise
+	}
+	st.votes[from] = true
+	if m.HasValue && st.pickBallot.Less(m.AcceptedAt) {
+		st.pickBallot = m.AcceptedAt
+		st.pickVal = m.Value
+		st.pickHas = true
+	}
+	if len(st.votes) < n.quorum() {
+		return
+	}
+	// Phase 2: push the constrained value (highest accepted) or our own.
+	st.chosenVal = st.proposal
+	if st.pickHas {
+		st.chosenVal = st.pickVal
+	}
+	st.phase = 2
+	st.votes = make(map[proc.ID]bool)
+	proc.BroadcastAll(n.env, &wire.Accept{Instance: m.Instance, Ballot: st.ballot, Value: st.chosenVal})
+}
+
+func (n *Node) onAccept(from proc.ID, m *wire.Accept) {
+	st := n.inst(m.Instance)
+	n.noteCounter(m.Ballot)
+	if st.decided {
+		n.env.Send(from, &wire.Decide{Instance: m.Instance, Value: st.decidedVal})
+		return
+	}
+	// Accept at b if no promise to anything higher was given (b >= promised).
+	if !m.Ballot.Less(st.promised) {
+		st.promised = m.Ballot
+		st.accepted = m.Ballot
+		st.acceptedVal = m.Value
+		st.hasAccepted = true
+		n.env.Send(from, &wire.Accepted{Instance: m.Instance, Ballot: m.Ballot})
+		return
+	}
+	n.env.Send(from, &wire.Accepted{Instance: m.Instance, Ballot: st.promised, NACK: true})
+}
+
+func (n *Node) onAccepted(from proc.ID, m *wire.Accepted) {
+	st := n.inst(m.Instance)
+	n.noteCounter(m.Ballot)
+	if m.NACK {
+		if st.phase == 2 && st.ballot.Less(m.Ballot) {
+			st.phase = 0
+			n.Nacks++
+		}
+		return
+	}
+	if st.phase != 2 || m.Ballot != st.ballot || st.decided {
+		return
+	}
+	st.votes[from] = true
+	if len(st.votes) < n.quorum() {
+		return
+	}
+	// Decided: tell everyone (including ourselves, closing the loop).
+	proc.BroadcastAll(n.env, &wire.Decide{Instance: m.Instance, Value: st.chosenVal})
+	n.learn(m.Instance, st.chosenVal)
+}
+
+// learn records a decision (idempotently) and notifies the application.
+func (n *Node) learn(inst, value int64) {
+	st := n.inst(inst)
+	if st.decided {
+		return
+	}
+	st.decided = true
+	st.decidedVal = value
+	st.phase = 0
+	n.Decide2B++
+	if n.cfg.OnDecide != nil {
+		n.cfg.OnDecide(inst, value)
+	}
+}
+
+var (
+	_ proc.Node      = (*Node)(nil)
+	_ proc.Crashable = (*Node)(nil)
+)

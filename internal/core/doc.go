@@ -1,0 +1,53 @@
+// Package core implements the paper's contribution: the eventual-leader (Ω)
+// algorithms of Fernández & Raynal, "From an intermittent rotating star to a
+// leader" (IRISA PI-1810, 2006 / PODC 2007).
+//
+// The package provides one Node type with four variants that correspond to
+// the paper's incremental presentation:
+//
+//   - VariantFig1: the algorithm of Figure 1, correct in AS[n,t; A']
+//     (the eventual rotating t-star holds at every round ≥ RN₀).
+//   - VariantFig2: Figure 2, which adds the window test (line "*") and is
+//     correct in AS[n,t; A] (the star is intermittent: it holds only on an
+//     infinite round subsequence with gaps bounded by an unknown D).
+//   - VariantFig3: Figure 3, which adds the minimum test (line "**") and
+//     bounds every local variable and timeout except the round numbers
+//     (Theorem 4: no susp_level entry ever exceeds B+1, where B is the
+//     eventual common minimum; Lemma 8: within one process the spread
+//     max-min of susp_level never exceeds 1).
+//   - VariantFG: Figure 3 extended per Section 7 with two known functions f
+//     and g that let the star gaps (D + f(rn)) and the timely-message delays
+//     (δ + g(rn)) grow without bound.
+//
+// # Mapping from the paper's pseudocode
+//
+// Paper variable -> code field (Node):
+//
+//	s_rn_i            sRN
+//	r_rn_i            rRN
+//	susp_level_i[k]   suspLevel[k]
+//	rec_from_i[rn]    recFrom[rn]      (bitset, initialized to {i})
+//	suspicions_i[rn]  suspicions[rn]   (per-process counters)
+//	timer_i           the round timer (TimerRound) plus timerExpired
+//
+// Task T1 (lines 1-3) is driven by the periodic TimerAlive; task T2's three
+// handlers map to OnMessage(Alive), the guard evaluation in checkGuard
+// (lines 8-12), and OnMessage(Suspicion) (lines 13-18). leader() (lines
+// 19-21) is the Leader method.
+//
+// # Deviations (all mechanical, none semantic)
+//
+//   - Process ids are 0-based; round numbers start at 1 as in the paper.
+//   - The timer value "max susp_level" is scaled by Config.TimeoutUnit to
+//     convert the paper's abstract time units into simulator time, and is
+//     floored at Config.MinTimeout (default 1µs) to exclude Zeno executions
+//     in which a zero timeout lets infinitely many receiving rounds complete
+//     in zero time. The paper implicitly excludes these because processes
+//     take a bounded number of steps per time unit (§2.1).
+//   - SUSPICION processing is deduplicated per (round, sender). The model's
+//     links never duplicate, so this is pure hardening with no behavioural
+//     effect in any modeled execution.
+//   - suspicions/rec_from rows are unbounded in the paper; Config.Retention
+//     optionally prunes rows far behind the newest round to run very long
+//     simulations in bounded memory (0 disables pruning, the default).
+package core

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/proc"
+	"repro/internal/wire"
+)
+
+// Timer keys used by the node.
+const (
+	// TimerAlive drives task T1 (the periodic ALIVE broadcast).
+	TimerAlive proc.TimerKey = 0
+	// TimerRound is the receiving-round timer of task T2 (line 8/11).
+	TimerRound proc.TimerKey = 1
+)
+
+// guardLoopBudget bounds the synchronous receiving-round catch-up loop; it
+// is never reached in a sane configuration and exists to turn a Zeno
+// configuration bug into a loud failure instead of a hang.
+const guardLoopBudget = 1 << 20
+
+// Metrics counts node-local events of interest to the experiments.
+type Metrics struct {
+	AliveSent      uint64 // ALIVE broadcasts performed (task T1 ticks)
+	SuspicionsSent uint64 // SUSPICION broadcasts performed (guard firings)
+	RoundsDone     int64  // receiving rounds completed
+	Increments     uint64 // susp_level increments (line 17)
+	MaxSuspLevel   int64  // largest susp_level entry ever held
+	MaxTimeout     time.Duration
+	LateAlive      uint64 // ALIVE messages discarded because rn < r_rn
+	DupSuspicion   uint64 // duplicated SUSPICION messages ignored
+}
+
+// Node is one process of the paper's algorithm. Create with NewNode, then
+// register it with a transport; the transport drives it via the proc.Node
+// interface. All methods are invoked serially by the transport.
+type Node struct {
+	cfg Config
+	env proc.Env
+
+	sRN int64 // s_rn_i: last sending round used by task T1
+	rRN int64 // r_rn_i: current receiving round of task T2
+
+	suspLevel []int64 // susp_level_i[0..n)
+
+	// recFrom[rn] is rec_from_i[rn]: processes whose ALIVE(rn) arrived
+	// while rn >= r_rn, always including the node itself. Rows are
+	// created lazily and deleted once the round completes.
+	recFrom map[int64]*bitset.Set
+
+	// suspicions[rn][k] is suspicions_i[rn,k]: how many distinct
+	// processes reported suspecting p_k for receiving round rn.
+	suspicions map[int64][]int32
+
+	// suspReported[rn] records which senders' SUSPICION(rn) has been
+	// counted (dedup hardening; see package docs).
+	suspReported map[int64]*bitset.Set
+
+	// timerExpired mirrors "timer_i has expired" for the current round.
+	timerExpired bool
+
+	// maxRoundSeen is the newest round appearing in any received
+	// message; drives Retention pruning.
+	maxRoundSeen int64
+
+	// lastTimeout is the value the round timer was last armed with,
+	// kept for observability (Theorem 4: timeouts stabilize).
+	lastTimeout time.Duration
+
+	crashed bool
+	metrics Metrics
+}
+
+// NewNode builds a node for process id with the given configuration.
+func NewNode(id proc.ID, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if id < 0 || id >= cfg.N {
+		return nil, fmt.Errorf("core: id %d out of range [0,%d)", id, cfg.N)
+	}
+	// The node's identity comes from its Env at Start; the id parameter
+	// exists so misconfiguration fails at construction time.
+	return &Node{
+		cfg:          cfg,
+		suspLevel:    make([]int64, cfg.N),
+		recFrom:      make(map[int64]*bitset.Set),
+		suspicions:   make(map[int64][]int32),
+		suspReported: make(map[int64]*bitset.Set),
+	}, nil
+}
+
+// Config returns the node's defaulted configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Metrics returns a snapshot of the node-local counters.
+func (n *Node) Metrics() Metrics { return n.metrics }
+
+// Start implements proc.Node. It performs the paper's "init" block: round
+// counters at their initial values, susp_level all zero, the round timer
+// armed, and the first ALIVE broadcast scheduled immediately.
+func (n *Node) Start(env proc.Env) {
+	if env.N() != n.cfg.N {
+		panic(fmt.Sprintf("core: env has %d processes, config says %d", env.N(), n.cfg.N))
+	}
+	n.env = env
+	n.sRN = 0
+	n.rRN = 1
+	// "set timer_i to 0": the initial round timeout is the floor.
+	n.armRoundTimer(n.cfg.MinTimeout)
+	// Task T1 starts immediately.
+	n.aliveTick()
+}
+
+// OnCrash implements proc.Crashable.
+func (n *Node) OnCrash() { n.crashed = true }
+
+// Leader implements the paper's leader() primitive (lines 19-21): the
+// process with the lexicographically smallest (susp_level, id) pair.
+func (n *Node) Leader() proc.ID {
+	best := 0
+	for j := 1; j < n.cfg.N; j++ {
+		if n.suspLevel[j] < n.suspLevel[best] {
+			best = j
+		}
+	}
+	return best
+}
+
+// SuspLevel returns a copy of the susp_level array (for checkers).
+func (n *Node) SuspLevel() []int64 {
+	out := make([]int64, len(n.suspLevel))
+	copy(out, n.suspLevel)
+	return out
+}
+
+// Rounds returns the current sending and receiving round numbers.
+func (n *Node) Rounds() (sRN, rRN int64) { return n.sRN, n.rRN }
+
+// CurrentTimeout returns the value the round timer was last armed with.
+func (n *Node) CurrentTimeout() time.Duration { return n.lastTimeout }
+
+// OnTimer implements proc.Node.
+func (n *Node) OnTimer(key proc.TimerKey) {
+	if n.crashed {
+		return
+	}
+	switch key {
+	case TimerAlive:
+		n.aliveTick()
+	case TimerRound:
+		n.timerExpired = true
+		n.checkGuard()
+	default:
+		panic(fmt.Sprintf("core: unknown timer key %d", key))
+	}
+}
+
+// aliveTick is one iteration of task T1 (lines 1-3).
+func (n *Node) aliveTick() {
+	n.sRN++
+	n.metrics.AliveSent++
+	// Snapshot susp_level: the message must carry the values at send
+	// time (the array keeps mutating afterwards).
+	sl := make([]int64, len(n.suspLevel))
+	copy(sl, n.suspLevel)
+	proc.Broadcast(n.env, &wire.Alive{RN: n.sRN, SuspLevel: sl})
+	n.env.SetTimer(TimerAlive, n.cfg.AlivePeriod)
+}
+
+// OnMessage implements proc.Node.
+func (n *Node) OnMessage(from proc.ID, msg any) {
+	if n.crashed {
+		return
+	}
+	switch m := msg.(type) {
+	case *wire.Alive:
+		n.onAlive(from, m)
+	case *wire.Suspicion:
+		n.onSuspicion(from, m)
+	default:
+		panic(fmt.Sprintf("core: unexpected message %T", msg))
+	}
+}
+
+// onAlive handles lines 4-7.
+func (n *Node) onAlive(from proc.ID, m *wire.Alive) {
+	n.noteRound(m.RN)
+	// Line 5: pointwise maximum merge of the gossiped susp_level.
+	for k, v := range m.SuspLevel {
+		if k < len(n.suspLevel) && v > n.suspLevel[k] {
+			n.setSuspLevel(k, v)
+		}
+	}
+	// Line 6: record reception unless the round is already over.
+	if m.RN >= n.rRN {
+		n.recFromRow(m.RN).Add(from)
+		n.checkGuard()
+	} else {
+		n.metrics.LateAlive++
+	}
+}
+
+// onSuspicion handles lines 13-18 including the variant-specific tests.
+func (n *Node) onSuspicion(from proc.ID, m *wire.Suspicion) {
+	n.noteRound(m.RN)
+	rep := n.suspReported[m.RN]
+	if rep == nil {
+		rep = bitset.New(n.cfg.N)
+		n.suspReported[m.RN] = rep
+	}
+	if rep.Contains(from) {
+		n.metrics.DupSuspicion++
+		return
+	}
+	rep.Add(from)
+
+	counts := n.suspicions[m.RN]
+	if counts == nil {
+		counts = make([]int32, n.cfg.N)
+		n.suspicions[m.RN] = counts
+	}
+	m.Suspects.ForEach(func(k int) {
+		counts[k]++ // line 15
+		if int(counts[k]) < n.cfg.Alpha {
+			return // line 16 threshold not reached
+		}
+		if !n.windowTestOK(m.RN, k) {
+			return // line "*" (Figures 2/3, §7)
+		}
+		if !n.minTestOK(k) {
+			return // line "**" (Figure 3, §7)
+		}
+		n.setSuspLevel(k, n.suspLevel[k]+1) // line 17
+		n.metrics.Increments++
+	})
+	n.prune()
+}
+
+// windowTestOK evaluates line "*": p_k must have been suspected by >= alpha
+// processes in every round of the window [rn - susp_level[k] - F(rn), rn).
+// VariantFig1 has no window test.
+func (n *Node) windowTestOK(rn int64, k int) bool {
+	if n.cfg.Variant == VariantFig1 {
+		return true
+	}
+	low := rn - n.suspLevel[k]
+	if n.cfg.Variant == VariantFG {
+		low -= n.cfg.F(rn)
+	}
+	if low < 1 {
+		low = 1 // rounds are numbered from 1 (see package docs)
+	}
+	for x := low; x < rn; x++ {
+		row := n.suspicions[x]
+		if row == nil || int(row[k]) < n.cfg.Alpha {
+			return false
+		}
+	}
+	return true
+}
+
+// minTestOK evaluates line "**": susp_level[k] must currently be the array
+// minimum. Only Figure 3 and the §7 variant apply it.
+func (n *Node) minTestOK(k int) bool {
+	if n.cfg.Variant != VariantFig3 && n.cfg.Variant != VariantFG {
+		return true
+	}
+	min := n.suspLevel[0]
+	for _, v := range n.suspLevel[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return n.suspLevel[k] <= min
+}
+
+// checkGuard evaluates the line-8 guard and completes as many receiving
+// rounds as are enabled (lines 9-12). It is invoked after every event that
+// can enable the guard: round-timer expiry and ALIVE reception.
+func (n *Node) checkGuard() {
+	for i := 0; ; i++ {
+		if i == guardLoopBudget {
+			panic("core: receiving-round guard livelock (Zeno configuration?)")
+		}
+		if !n.timerExpired {
+			return
+		}
+		row := n.recFromRow(n.rRN)
+		if row.Count() < n.cfg.Alpha {
+			return
+		}
+		// Line 9: suspects are the processes not heard from.
+		suspects := row.Complement()
+		// Line 10: tell everybody, including ourselves.
+		n.metrics.SuspicionsSent++
+		proc.BroadcastAll(n.env, &wire.Suspicion{RN: n.rRN, Suspects: suspects})
+		// Line 11: re-arm the timer from the suspicion levels.
+		n.armRoundTimer(n.roundTimeout())
+		// Line 12: move to the next receiving round; the completed
+		// round's reception row is dead (line 6 discards late ALIVEs).
+		delete(n.recFrom, n.rRN)
+		n.rRN++
+		n.metrics.RoundsDone++
+	}
+}
+
+// roundTimeout computes the line-11 timer value: max susp_level, scaled,
+// plus G(r_rn+1) for the §7 variant, floored by MinTimeout.
+func (n *Node) roundTimeout() time.Duration {
+	max := n.suspLevel[0]
+	for _, v := range n.suspLevel[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	d := time.Duration(max) * n.cfg.TimeoutUnit
+	if n.cfg.Variant == VariantFG {
+		d += n.cfg.G(n.rRN + 1)
+	}
+	if d < n.cfg.MinTimeout {
+		d = n.cfg.MinTimeout
+	}
+	return d
+}
+
+var _ proc.Node = (*Node)(nil)
+var _ proc.Crashable = (*Node)(nil)
+var _ proc.LeaderOracle = (*Node)(nil)
+
+// armRoundTimer (re)arms the receiving-round timer with value d and resets
+// the expiry flag (line 11 plus the init block's "set timer_i").
+func (n *Node) armRoundTimer(d time.Duration) {
+	n.lastTimeout = d
+	if d > n.metrics.MaxTimeout {
+		n.metrics.MaxTimeout = d
+	}
+	n.timerExpired = false
+	n.env.SetTimer(TimerRound, d)
+}
+
+// recFromRow returns rec_from_i[rn], creating it (as {i}) on first use.
+func (n *Node) recFromRow(rn int64) *bitset.Set {
+	row := n.recFrom[rn]
+	if row == nil {
+		row = bitset.New(n.cfg.N)
+		row.Add(n.env.ID())
+		n.recFrom[rn] = row
+	}
+	return row
+}
+
+// setSuspLevel raises susp_level[k] to v (values never decrease; line 5
+// merges by max and line 17 increments).
+func (n *Node) setSuspLevel(k int, v int64) {
+	if v <= n.suspLevel[k] {
+		return
+	}
+	n.suspLevel[k] = v
+	if v > n.metrics.MaxSuspLevel {
+		n.metrics.MaxSuspLevel = v
+	}
+	if n.cfg.OnIncrement != nil {
+		n.cfg.OnIncrement(k, v)
+	}
+}
+
+// noteRound tracks the newest round seen in any message, for pruning.
+func (n *Node) noteRound(rn int64) {
+	if rn > n.maxRoundSeen {
+		n.maxRoundSeen = rn
+	}
+}
+
+// prune drops bookkeeping rows older than the retention horizon.
+func (n *Node) prune() {
+	if n.cfg.Retention == 0 {
+		return
+	}
+	horizon := n.maxRoundSeen - n.cfg.Retention
+	if horizon <= 0 {
+		return
+	}
+	// Maps are small (bounded by in-flight rounds); a scan is fine.
+	for rn := range n.suspicions {
+		if rn < horizon {
+			delete(n.suspicions, rn)
+		}
+	}
+	for rn := range n.suspReported {
+		if rn < horizon {
+			delete(n.suspReported, rn)
+		}
+	}
+	for rn := range n.recFrom {
+		if rn < horizon && rn < n.rRN {
+			delete(n.recFrom, rn)
+		}
+	}
+}

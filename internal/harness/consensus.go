@@ -1,0 +1,201 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/proc"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// ConsensusConfig describes a Theorem 5 run: Ω (core) and consensus
+// co-hosted in every process, a batch of instances proposed by everyone,
+// and a verdict over decisions.
+type ConsensusConfig struct {
+	Family scenario.Family
+	Params scenario.Params
+
+	// Variant is the Ω variant to co-host. 0 means VariantFig3.
+	Variant core.Variant
+
+	// Instances is how many consensus instances to run. 0 means 10.
+	Instances int
+
+	// ProposeAt is when every process proposes (virtual). 0 means 100ms.
+	ProposeAt time.Duration
+
+	// Duration is the virtual run length. 0 means 60s.
+	Duration time.Duration
+}
+
+// ConsensusResult is the outcome of a Theorem 5 run.
+type ConsensusResult struct {
+	// Decided counts instances decided at every correct process.
+	Decided int
+	// Agreement and Validity report the safety checks.
+	Agreement, Validity bool
+	// FirstDecision and LastDecision are virtual decision times
+	// (measured at the first process to learn each instance).
+	FirstDecision, LastDecision time.Duration
+	// MeanLatency is the mean instance latency from propose to the
+	// first learn.
+	MeanLatency time.Duration
+	// NetStats aggregates network counters.
+	NetStats netsim.Stats
+	// Ballots counts ballots started across all processes.
+	Ballots uint64
+}
+
+// RunConsensus executes a Theorem 5 configuration.
+func RunConsensus(cfg ConsensusConfig) (*ConsensusResult, error) {
+	if cfg.Variant == 0 {
+		cfg.Variant = core.VariantFig3
+	}
+	if cfg.Instances == 0 {
+		cfg.Instances = 10
+	}
+	if cfg.ProposeAt == 0 {
+		cfg.ProposeAt = 100 * time.Millisecond
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 60 * time.Second
+	}
+	sc, err := scenario.Build(cfg.Family, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	p := sc.Params
+	if 2*p.T >= p.N {
+		return nil, fmt.Errorf("harness: Theorem 5 needs t < n/2, got n=%d t=%d", p.N, p.T)
+	}
+
+	sched := sim.NewScheduler()
+	net, err := netsim.New(sched, netsim.Config{N: p.N, Seed: p.Seed, Policy: sc.Policy, Gate: sc.Gate})
+	if err != nil {
+		return nil, err
+	}
+
+	omegas := make([]*core.Node, p.N)
+	cons := make([]*consensus.Node, p.N)
+	firstLearn := make(map[int64]sim.Time)
+	for id := 0; id < p.N; id++ {
+		omega, err := core.NewNode(id, core.Config{N: p.N, T: p.T, Variant: cfg.Variant})
+		if err != nil {
+			return nil, err
+		}
+		cn, err := consensus.New(consensus.Config{
+			N: p.N, T: p.T,
+			Oracle: omega.Leader,
+			OnDecide: func(inst, v int64) {
+				if _, ok := firstLearn[inst]; !ok {
+					firstLearn[inst] = sched.Now()
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		mux := proc.NewMux()
+		mux.AddLane(omega)
+		mux.AddLane(cn)
+		omegas[id] = omega
+		cons[id] = cn
+		net.Register(id, mux)
+		net.StartAt(id, 0)
+	}
+
+	sc.SetCrashedProbe(net.Crashed)
+	sc.SetRoundProbe(func(q proc.ID) int64 {
+		_, r := omegas[q].Rounds()
+		return r
+	})
+	sc.SetTimeoutProbe(func() time.Duration {
+		var max time.Duration
+		for id, om := range omegas {
+			if !net.Crashed(id) && om.CurrentTimeout() > max {
+				max = om.CurrentTimeout()
+			}
+		}
+		return max
+	})
+	sc.SetLeaderProbe(func() proc.ID {
+		for id, om := range omegas {
+			if !net.Crashed(id) {
+				return om.Leader()
+			}
+		}
+		return proc.None
+	})
+	for _, c := range sc.Crashes {
+		net.CrashAt(c.ID, c.At)
+	}
+
+	sched.After(cfg.ProposeAt, func() {
+		for inst := 0; inst < cfg.Instances; inst++ {
+			for id, c := range cons {
+				if !net.Crashed(id) {
+					c.Propose(int64(inst), int64(id*1000+inst))
+				}
+			}
+		}
+	})
+	sched.RunFor(cfg.Duration)
+
+	res := &ConsensusResult{Agreement: true, Validity: true, NetStats: net.Stats()}
+	var latencySum time.Duration
+	for inst := 0; inst < cfg.Instances; inst++ {
+		var val int64
+		decidedEverywhere := true
+		seen := false
+		for id, c := range cons {
+			if net.Crashed(id) {
+				continue
+			}
+			v, ok := c.Decided(int64(inst))
+			if !ok {
+				decidedEverywhere = false
+				continue
+			}
+			if !seen {
+				val, seen = v, true
+			} else if v != val {
+				res.Agreement = false
+			}
+		}
+		if seen {
+			valid := false
+			for id := 0; id < p.N; id++ {
+				if val == int64(id*1000+inst) {
+					valid = true
+				}
+			}
+			if !valid {
+				res.Validity = false
+			}
+		}
+		if decidedEverywhere && seen {
+			res.Decided++
+		}
+		if at, ok := firstLearn[int64(inst)]; ok {
+			lat := time.Duration(at) - cfg.ProposeAt
+			latencySum += lat
+			if res.FirstDecision == 0 || time.Duration(at) < res.FirstDecision {
+				res.FirstDecision = time.Duration(at)
+			}
+			if time.Duration(at) > res.LastDecision {
+				res.LastDecision = time.Duration(at)
+			}
+		}
+	}
+	if n := len(firstLearn); n > 0 {
+		res.MeanLatency = latencySum / time.Duration(n)
+	}
+	for _, c := range cons {
+		res.Ballots += c.Ballots
+	}
+	return res, nil
+}

@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+func TestRunConsensusCombined(t *testing.T) {
+	res, err := RunConsensus(ConsensusConfig{
+		Family:    scenario.FamilyCombined,
+		Params:    scenario.Params{N: 5, T: 2, Seed: 61},
+		Instances: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement || !res.Validity {
+		t.Fatalf("safety violated: %+v", res)
+	}
+	if res.Decided != 8 {
+		t.Fatalf("decided %d/8 instances", res.Decided)
+	}
+	if res.MeanLatency <= 0 {
+		t.Fatalf("mean latency = %v", res.MeanLatency)
+	}
+}
+
+func TestRunConsensusIntermittentWithCrash(t *testing.T) {
+	res, err := RunConsensus(ConsensusConfig{
+		Family: scenario.FamilyIntermittent,
+		Params: scenario.Params{
+			N: 5, T: 2, Seed: 67, D: 3,
+			Crashes: []scenario.Crash{{ID: 4, At: sim.Time(time.Second)}},
+		},
+		Instances: 5,
+		Duration:  90 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement || !res.Validity {
+		t.Fatalf("safety violated: %+v", res)
+	}
+	if res.Decided != 5 {
+		t.Fatalf("decided %d/5 instances under crash", res.Decided)
+	}
+}
+
+func TestRunConsensusRejectsBadResilience(t *testing.T) {
+	_, err := RunConsensus(ConsensusConfig{
+		Family: scenario.FamilyCombined,
+		Params: scenario.Params{N: 4, T: 2, Seed: 1},
+	})
+	if err == nil {
+		t.Fatal("t >= n/2 accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// GridSpec configures the coverage grid (experiment C1): every algorithm
+// runs under every assumption family, with the family realized by its most
+// adversarial permitted execution (order adversary + unbounded spike drift),
+// so that algorithms not designed for a family actually fail in it.
+type GridSpec struct {
+	N, T int
+	Seed uint64
+	// D is the intermittent gap for the intermittent families. 0 means 3.
+	D int64
+	// Duration per cell. 0 means 120s.
+	Duration time.Duration
+	// Families and Algos default to all.
+	Families []scenario.Family
+	Algos    []Algorithm
+}
+
+// GridCell is one grid outcome.
+type GridCell struct {
+	Family scenario.Family
+	Algo   Algorithm
+	Result *Result
+	Err    error
+}
+
+// Stabilized reports whether leadership stabilized (false on error).
+func (c GridCell) Stabilized() bool {
+	return c.Err == nil && c.Result.Report.Stabilized
+}
+
+// Converged is the cell verdict: leadership stabilized AND (for the
+// timer-based algorithms) the timeout values settled. A diverging
+// algorithm/assumption pair shows up within a finite horizon as either
+// visible leadership churn or timeouts that are still growing when the run
+// ends: its suspicion levels grow without bound, so the leadership plateaus
+// stretch with the round duration and can swallow any fixed observation
+// window, but the growth itself cannot be hidden.
+func (c GridCell) Converged() bool {
+	return c.Err == nil && c.Result.Report.Stabilized && c.Result.TimeoutsStable
+}
+
+// RunGrid executes the full grid, returning cells in (family-major,
+// algorithm-minor) order.
+func RunGrid(spec GridSpec) []GridCell {
+	if spec.D == 0 {
+		spec.D = 3
+	}
+	if spec.Duration == 0 {
+		spec.Duration = 120 * time.Second
+	}
+	if spec.Families == nil {
+		spec.Families = scenario.Families()
+	}
+	if spec.Algos == nil {
+		spec.Algos = Algorithms()
+	}
+	var cells []GridCell
+	for _, fam := range spec.Families {
+		for _, algo := range spec.Algos {
+			res, err := Run(GridCellConfig(spec, fam, algo))
+			cells = append(cells, GridCell{Family: fam, Algo: algo, Result: res, Err: err})
+		}
+	}
+	return cells
+}
+
+// GridCellConfig builds the Run configuration for one grid cell. Exposed so
+// tests and benchmarks can run individual cells.
+func GridCellConfig(spec GridSpec, fam scenario.Family, algo Algorithm) Config {
+	if spec.D == 0 {
+		spec.D = 3
+	}
+	if spec.Duration == 0 {
+		spec.Duration = 120 * time.Second
+	}
+	params := scenario.Params{
+		N: spec.N, T: spec.T, Seed: spec.Seed,
+		D: spec.D,
+		// The adversary the family's assumption permits: a large δ (so
+		// order attacks dominate start-phase skew), unbounded spike
+		// drift and growing link outages on unconstrained links, and
+		// the reception-order attack (timely does not imply winning).
+		Delta:            20 * time.Millisecond,
+		Drift:            2 * time.Millisecond,
+		AdversarialOrder: true,
+		OutagePeriod:     4 * time.Second,
+		OutageBase:       100 * time.Millisecond,
+	}
+	if fam == scenario.FamilyIntermittentFG {
+		params.F = func(s int64) int64 { return s / 2 }
+		params.G = func(rn int64) time.Duration { return time.Duration(rn) * 20 * time.Microsecond }
+	}
+	return Config{
+		Family:   fam,
+		Params:   params,
+		Algo:     algo,
+		Duration: spec.Duration,
+	}
+}

@@ -1,0 +1,356 @@
+// Package harness wires algorithms, the simulated network and an assumption
+// scenario into a complete run, collects metrics, and checks the paper's
+// properties. Every experiment in EXPERIMENTS.md, every integration test and
+// every benchmark goes through Run.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/proc"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// Algorithm names an Ω implementation under test.
+type Algorithm string
+
+// The algorithms the harness can run.
+const (
+	AlgoFig1     Algorithm = "fig1"     // core, Figure 1 (A'-based)
+	AlgoFig2     Algorithm = "fig2"     // core, Figure 2 (A-based)
+	AlgoFig3     Algorithm = "fig3"     // core, Figure 3 (bounded)
+	AlgoFG       Algorithm = "fg"       // core, Figure 3 + §7 f,g
+	AlgoStable   Algorithm = "stable"   // baseline: heartbeat/timeout
+	AlgoTimeFree Algorithm = "timefree" // baseline: time-free pattern
+)
+
+// Algorithms lists all runnable algorithms (grid experiments iterate this).
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgoFig1, AlgoFig2, AlgoFig3, AlgoFG, AlgoStable, AlgoTimeFree}
+}
+
+// ParseAlgorithm validates a CLI-provided algorithm name.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range Algorithms() {
+		if s == string(a) {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("harness: unknown algorithm %q", s)
+}
+
+// Config describes one run.
+type Config struct {
+	// Family and Params select the assumption scenario.
+	Family scenario.Family
+	Params scenario.Params
+
+	// Algo selects the Ω implementation.
+	Algo Algorithm
+
+	// AlivePeriod is β for the core algorithms and the beacon period for
+	// the baselines. 0 means 10ms.
+	AlivePeriod time.Duration
+	// TimeoutUnit converts suspicion levels to time (core). 0 means 1ms.
+	TimeoutUnit time.Duration
+	// Retention bounds per-round bookkeeping; 0 keeps everything.
+	Retention int64
+
+	// Duration is the virtual run length. 0 means 20s.
+	Duration time.Duration
+	// SampleEvery is the leader-sampling period. 0 means 20ms.
+	SampleEvery time.Duration
+	// StartSpread staggers process start times in [0, StartSpread].
+	// 0 means 5ms.
+	StartSpread time.Duration
+
+	// CheckSpread verifies the Lemma 8 invariant after every delivery
+	// (only meaningful for fig3/fg).
+	CheckSpread bool
+
+	// MaxEvents aborts runaway simulations. 0 means 200 million.
+	MaxEvents uint64
+
+	// KeepTimeline retains the sampled leader timeline in the Result
+	// (for plots and debugging; off by default to save memory).
+	KeepTimeline bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.AlivePeriod == 0 {
+		c.AlivePeriod = 10 * time.Millisecond
+	}
+	if c.TimeoutUnit == 0 {
+		c.TimeoutUnit = time.Millisecond
+	}
+	if c.Duration == 0 {
+		c.Duration = 20 * time.Second
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 20 * time.Millisecond
+	}
+	if c.StartSpread == 0 {
+		c.StartSpread = 5 * time.Millisecond
+	}
+	if c.MaxEvents == 0 {
+		c.MaxEvents = 200_000_000
+	}
+	return c
+}
+
+// Result aggregates everything a run produced.
+type Result struct {
+	Config Config
+	Sc     *scenario.Scenario
+
+	// Report is the eventual-leadership verdict.
+	Report check.StabilizationReport
+	// NetStats are the network counters (messages, bytes, drops).
+	NetStats netsim.Stats
+	// Events is the number of simulator events executed.
+	Events uint64
+
+	// Core-algorithm observables (zero for baselines):
+	MaxSuspLevel     int64  // largest susp_level entry ever seen
+	BoundB           int64  // empirical B (min over targets of max level)
+	BoundOK          bool   // Theorem 4 verdict
+	SpreadViolations uint64 // Lemma 8 violations observed (want 0)
+	RoundsDone       int64  // max receiving rounds completed by any node
+	FinalTimeouts    []time.Duration
+	TimeoutsStable   bool // all correct nodes' timeout series settled
+	LeaderAtEnd      []proc.ID
+	FinalLevels      [][]int64 // susp_level per process at end (core only)
+
+	// Timeline is the sampled leader history (when KeepTimeline is set).
+	Timeline []check.LeaderSample
+
+	// CoreMetrics are the per-node counters (core algorithms only).
+	CoreMetrics []core.Metrics
+
+	// Elapsed is real (wall-clock) time spent simulating.
+	Elapsed time.Duration
+}
+
+// StabilizationTime returns the virtual time at which the system stabilized
+// (or -1 when it did not).
+func (r *Result) StabilizationTime() time.Duration {
+	if !r.Report.Stabilized {
+		return -1
+	}
+	return time.Duration(r.Report.StabilizedAt)
+}
+
+// Run executes one configured simulation and returns its results.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	sc, err := scenario.Build(cfg.Family, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	p := sc.Params
+
+	sched := sim.NewScheduler()
+	net, err := netsim.New(sched, netsim.Config{
+		N:      p.N,
+		Seed:   p.Seed,
+		Policy: sc.Policy,
+		Gate:   sc.Gate,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	nodes := make([]proc.Node, p.N)
+	oracles := make([]proc.LeaderOracle, p.N)
+	var coreNodes []*core.Node
+	for id := 0; id < p.N; id++ {
+		node, err := buildNode(cfg, sc, id)
+		if err != nil {
+			return nil, err
+		}
+		nodes[id] = node
+		oracle, ok := node.(proc.LeaderOracle)
+		if !ok {
+			return nil, fmt.Errorf("harness: %s node is not a leader oracle", cfg.Algo)
+		}
+		oracles[id] = oracle
+		if cn, ok := node.(*core.Node); ok {
+			coreNodes = append(coreNodes, cn)
+		}
+		net.Register(id, node)
+	}
+
+	// Wire the adversary's introspection and the gate's probes.
+	sc.SetCrashedProbe(net.Crashed)
+	sc.SetRoundProbe(func(q proc.ID) int64 {
+		if rp, ok := nodes[q].(interface{ Rounds() (int64, int64) }); ok {
+			_, r := rp.Rounds()
+			return r
+		}
+		return -1
+	})
+	sc.SetLeaderProbe(func() proc.ID {
+		// The adversary observes the leader estimate of the lowest-id
+		// correct process and chases it.
+		for id := range nodes {
+			if !net.Crashed(id) {
+				return oracles[id].Leader()
+			}
+		}
+		return proc.None
+	})
+	sc.SetTimeoutProbe(func() time.Duration {
+		var max time.Duration
+		for id, node := range nodes {
+			if net.Crashed(id) {
+				continue
+			}
+			if tp, ok := node.(interface{ CurrentTimeout() time.Duration }); ok {
+				if to := tp.CurrentTimeout(); to > max {
+					max = to
+				}
+			}
+		}
+		return max
+	})
+
+	// Staggered starts: processes boot within [0, StartSpread].
+	jitter := sim.NewRand(p.Seed ^ 0x737461727453)
+	for id := 0; id < p.N; id++ {
+		net.StartAt(id, sim.Time(jitter.Duration(0, cfg.StartSpread)))
+	}
+	for _, c := range sc.Crashes {
+		net.CrashAt(c.ID, c.At)
+	}
+
+	res := &Result{Config: cfg, Sc: sc, BoundOK: true, TimeoutsStable: true}
+
+	// Lemma 8 spread checking after every delivery (the pseudocode's
+	// statement blocks are atomic; deliveries are our state boundaries).
+	if cfg.CheckSpread && len(coreNodes) > 0 {
+		net.OnDeliver = func(ev *netsim.Envelope) {
+			if cn, ok := nodes[ev.To].(*core.Node); ok {
+				if !check.SpreadOK(cn.SuspLevel()) {
+					res.SpreadViolations++
+				}
+			}
+		}
+	}
+
+	// Periodic sampling: leader estimates, Theorem 4 tracking, timeout
+	// series.
+	bounds := check.NewBoundTracker(p.N)
+	var samples []check.LeaderSample
+	timeoutSeries := make([][]time.Duration, p.N)
+	var sample func()
+	sample = func() {
+		ls := check.LeaderSample{At: sched.Now(), Leaders: make([]proc.ID, p.N)}
+		for id := 0; id < p.N; id++ {
+			if net.Crashed(id) {
+				ls.Leaders[id] = proc.None
+				continue
+			}
+			ls.Leaders[id] = oracles[id].Leader()
+			if cn, ok := nodes[id].(*core.Node); ok {
+				bounds.Observe(cn.SuspLevel())
+				timeoutSeries[id] = append(timeoutSeries[id], cn.CurrentTimeout())
+			}
+		}
+		samples = append(samples, ls)
+		sched.After(cfg.SampleEvery, sample)
+	}
+	sched.After(cfg.SampleEvery, sample)
+
+	// Run.
+	wallStart := time.Now()
+	horizon := sim.Time(cfg.Duration)
+	for sched.Now() < horizon {
+		sched.Run(horizon)
+		if sched.Processed > cfg.MaxEvents {
+			return nil, fmt.Errorf("harness: event budget %d exhausted at %v", cfg.MaxEvents, sched.Now())
+		}
+		if sched.Pending() == 0 {
+			break
+		}
+	}
+	res.Elapsed = time.Since(wallStart)
+	res.Events = sched.Processed
+
+	// Gather verdicts.
+	res.Report = check.AnalyzeLeaders(samples, func(id proc.ID) bool { return !net.Crashed(id) })
+	if cfg.KeepTimeline {
+		res.Timeline = samples
+	}
+	res.NetStats = net.Stats()
+	res.BoundB = bounds.B()
+	res.MaxSuspLevel = bounds.MaxEver()
+	res.BoundOK = bounds.BoundOK()
+	res.FinalTimeouts = make([]time.Duration, p.N)
+	res.LeaderAtEnd = make([]proc.ID, p.N)
+	res.FinalLevels = make([][]int64, p.N)
+	for id := 0; id < p.N; id++ {
+		res.LeaderAtEnd[id] = proc.None
+		if !net.Crashed(id) {
+			res.LeaderAtEnd[id] = oracles[id].Leader()
+		}
+		if cn, ok := nodes[id].(*core.Node); ok {
+			if res.CoreMetrics == nil {
+				res.CoreMetrics = make([]core.Metrics, p.N)
+			}
+			res.CoreMetrics[id] = cn.Metrics()
+			res.FinalLevels[id] = cn.SuspLevel()
+			res.FinalTimeouts[id] = cn.CurrentTimeout()
+			if !net.Crashed(id) && !check.TimeoutStable(timeoutSeries[id], 0.25) {
+				res.TimeoutsStable = false
+			}
+			if _, r := cn.Rounds(); r-1 > res.RoundsDone {
+				res.RoundsDone = r - 1
+			}
+		}
+	}
+	return res, nil
+}
+
+// buildNode constructs the algorithm instance for one process.
+func buildNode(cfg Config, sc *scenario.Scenario, id proc.ID) (proc.Node, error) {
+	p := sc.Params
+	switch cfg.Algo {
+	case AlgoFig1, AlgoFig2, AlgoFig3, AlgoFG:
+		variant, err := core.ParseVariant(string(cfg.Algo))
+		if err != nil {
+			return nil, err
+		}
+		ccfg := core.Config{
+			N: p.N, T: p.T, Alpha: p.Alpha,
+			Variant:     variant,
+			AlivePeriod: cfg.AlivePeriod,
+			TimeoutUnit: cfg.TimeoutUnit,
+			Retention:   cfg.Retention,
+		}
+		if variant == core.VariantFG {
+			// §7: the algorithm knows f and g (the scenario's).
+			ccfg.F = p.F
+			ccfg.G = p.G
+		}
+		return core.NewNode(id, ccfg)
+	case AlgoStable:
+		return baseline.NewStable(baseline.StableConfig{
+			N:      p.N,
+			Period: cfg.AlivePeriod,
+		})
+	case AlgoTimeFree:
+		return baseline.NewTimeFree(baseline.TimeFreeConfig{
+			N: p.N, T: p.T, Alpha: p.Alpha,
+			Period:    cfg.AlivePeriod,
+			Retention: cfg.Retention,
+		})
+	default:
+		return nil, fmt.Errorf("harness: unknown algorithm %q", cfg.Algo)
+	}
+}

@@ -1,0 +1,27 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func TestSmokeFig3TSource(t *testing.T) {
+	res, err := Run(Config{
+		Family: scenario.FamilyTSource,
+		Params: scenario.Params{N: 5, T: 2, Seed: 1},
+		Algo:   AlgoFig3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("stabilized=%v at=%v leader=%d maxLevel=%d B=%d rounds=%d events=%d msgs=%d elapsed=%v",
+		res.Report.Stabilized, res.StabilizationTime(), res.Report.Leader,
+		res.MaxSuspLevel, res.BoundB, res.RoundsDone, res.Events, res.NetStats.Sent, res.Elapsed)
+	if !res.Report.Stabilized {
+		t.Fatalf("fig3 did not stabilize under tsource: %+v", res.Report)
+	}
+	if !res.BoundOK {
+		t.Errorf("Theorem 4 bound violated: max=%d B=%d", res.MaxSuspLevel, res.BoundB)
+	}
+}

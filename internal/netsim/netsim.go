@@ -1,0 +1,352 @@
+// Package netsim provides the simulated message-passing network of the
+// paper's system model AS[n,t]: n processes fully connected by reliable,
+// non-FIFO, directed links with arbitrary (policy-controlled) transfer
+// delays, where processes may crash.
+//
+// The network realizes exactly the model of §2.1:
+//
+//   - Links are reliable: messages are never created, altered or lost. A
+//     message is dropped only when its receiver has crashed, which is
+//     indistinguishable from reception by a dead process.
+//   - No bound is assumed on transfer delays; a DelayPolicy chooses each
+//     message's delay and an optional Gate can additionally reorder
+//     deliveries (used to realize the paper's time-free "winning message"
+//     property, which constrains order rather than time).
+//   - Processes are crash-stop: after its crash time a process sends,
+//     receives and executes nothing.
+//
+// All activity runs on a deterministic sim.Scheduler, so any run is
+// reproducible from its seed.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Envelope is a message in flight on some link.
+type Envelope struct {
+	// Seq is a unique, deterministic message sequence number.
+	Seq uint64
+	// From and To are the link endpoints.
+	From, To proc.ID
+	// Payload is the message itself (usually a wire.Message).
+	Payload any
+	// SentAt is the virtual time Send was called.
+	SentAt sim.Time
+	// Released marks an envelope a Gate has already held and released;
+	// gates must not hold a released envelope again.
+	Released bool
+}
+
+// Delay returns how long the envelope has been in flight at time now.
+func (e *Envelope) Delay(now sim.Time) time.Duration { return now.Sub(e.SentAt) }
+
+// DelayPolicy decides the transfer delay of each message. Implementations
+// live in internal/scenario; they encode the synchrony assumption under test.
+type DelayPolicy interface {
+	// Delay returns the transfer delay for ev. It is called once per
+	// message at send time. r is a deterministic per-network stream.
+	Delay(ev *Envelope, r *sim.Rand) time.Duration
+}
+
+// DelayFunc adapts a function to the DelayPolicy interface.
+type DelayFunc func(ev *Envelope, r *sim.Rand) time.Duration
+
+// Delay implements DelayPolicy.
+func (f DelayFunc) Delay(ev *Envelope, r *sim.Rand) time.Duration { return f(ev, r) }
+
+// Gate intercepts deliveries to constrain their order. The paper's "winning
+// message" property (Definition 2) is about reception order, not timing, so
+// it is enforced at the instant a message would be delivered. now is the
+// current virtual time (gates have no other clock access).
+type Gate interface {
+	// OnArrival is called when ev's transfer delay has elapsed. Return
+	// true to deliver now; return false to take ownership of ev and hold
+	// it. Held envelopes must eventually be returned from OnDelivered
+	// (link reliability is part of the model).
+	OnArrival(ev *Envelope, now sim.Time) bool
+	// OnDelivered is called after every delivery; the gate may release
+	// held envelopes by returning them. Released envelopes are delivered
+	// immediately, in order, each triggering its own OnDelivered.
+	OnDelivered(ev *Envelope, now sim.Time) []*Envelope
+}
+
+// Stats aggregates network-level counters.
+type Stats struct {
+	Sent      uint64 // messages handed to the network
+	Delivered uint64 // messages delivered to live processes
+	Dropped   uint64 // messages addressed to crashed processes
+	Bytes     uint64 // encoded size of all sent wire messages
+	ByKind    map[wire.Kind]uint64
+	BytesKind map[wire.Kind]uint64
+}
+
+// Network simulates the complete system: processes plus links.
+type Network struct {
+	sched   *sim.Scheduler
+	rand    *sim.Rand
+	policy  DelayPolicy
+	gate    Gate
+	nodes   []proc.Node
+	envs    []*env
+	crashed []bool
+	started []bool
+	nextSeq uint64
+	stats   Stats
+
+	// OnDeliver, when non-nil, observes every successful delivery (after
+	// the node processed it). Used by checkers and tracing.
+	OnDeliver func(ev *Envelope)
+	// OnCrashHook, when non-nil, observes crashes.
+	OnCrashHook func(id proc.ID, at sim.Time)
+}
+
+// Config assembles a Network.
+type Config struct {
+	N      int
+	Seed   uint64
+	Policy DelayPolicy // required
+	Gate   Gate        // optional
+}
+
+// New creates a network of cfg.N processes on sched. Nodes are registered
+// with Register and started with StartAll (or StartAt for staggered starts).
+func New(sched *sim.Scheduler, cfg Config) (*Network, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("netsim: N must be positive, got %d", cfg.N)
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("netsim: Config.Policy is required")
+	}
+	n := &Network{
+		sched:   sched,
+		rand:    sim.NewRand(cfg.Seed ^ 0x6e657473696d2121),
+		policy:  cfg.Policy,
+		gate:    cfg.Gate,
+		nodes:   make([]proc.Node, cfg.N),
+		envs:    make([]*env, cfg.N),
+		crashed: make([]bool, cfg.N),
+		started: make([]bool, cfg.N),
+	}
+	n.stats.ByKind = make(map[wire.Kind]uint64)
+	n.stats.BytesKind = make(map[wire.Kind]uint64)
+	for i := 0; i < cfg.N; i++ {
+		n.envs[i] = &env{net: n, id: i, timers: make(map[proc.TimerKey]sim.EventID)}
+	}
+	return n, nil
+}
+
+// N returns the number of processes.
+func (n *Network) N() int { return len(n.nodes) }
+
+// Scheduler returns the underlying scheduler (for running the simulation).
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Stats {
+	s := n.stats
+	s.ByKind = make(map[wire.Kind]uint64, len(n.stats.ByKind))
+	for k, v := range n.stats.ByKind {
+		s.ByKind[k] = v
+	}
+	s.BytesKind = make(map[wire.Kind]uint64, len(n.stats.BytesKind))
+	for k, v := range n.stats.BytesKind {
+		s.BytesKind[k] = v
+	}
+	return s
+}
+
+// Register installs node as process id. Must be called before the node is
+// started.
+func (n *Network) Register(id proc.ID, node proc.Node) {
+	if n.nodes[id] != nil {
+		panic(fmt.Sprintf("netsim: process %d registered twice", id))
+	}
+	if node == nil {
+		panic("netsim: Register with nil node")
+	}
+	n.nodes[id] = node
+}
+
+// StartAt schedules process id's Start callback at virtual time at.
+func (n *Network) StartAt(id proc.ID, at sim.Time) {
+	if n.nodes[id] == nil {
+		panic(fmt.Sprintf("netsim: starting unregistered process %d", id))
+	}
+	n.sched.At(at, func() {
+		if n.crashed[id] || n.started[id] {
+			return
+		}
+		n.started[id] = true
+		n.nodes[id].Start(n.envs[id])
+	})
+}
+
+// StartAll starts every registered process at time 0.
+func (n *Network) StartAll() {
+	for id := range n.nodes {
+		n.StartAt(id, 0)
+	}
+}
+
+// CrashAt schedules process id to crash at virtual time at. Crashing is
+// idempotent. Messages already in flight to other processes are still
+// delivered (they left the sender before the crash).
+func (n *Network) CrashAt(id proc.ID, at sim.Time) {
+	n.sched.At(at, func() { n.crashNow(id) })
+}
+
+func (n *Network) crashNow(id proc.ID) {
+	if n.crashed[id] {
+		return
+	}
+	n.crashed[id] = true
+	// Disarm all of the process's timers.
+	for key, ev := range n.envs[id].timers {
+		n.sched.Cancel(ev)
+		delete(n.envs[id].timers, key)
+	}
+	if c, ok := n.nodes[id].(proc.Crashable); ok && n.started[id] {
+		c.OnCrash()
+	}
+	if n.OnCrashHook != nil {
+		n.OnCrashHook(id, n.sched.Now())
+	}
+}
+
+// Crashed reports whether process id has crashed.
+func (n *Network) Crashed(id proc.ID) bool { return n.crashed[id] }
+
+// Correct returns the ids of processes that have not crashed (so far).
+func (n *Network) Correct() []proc.ID {
+	var out []proc.ID
+	for id, c := range n.crashed {
+		if !c {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Node returns the node registered as process id.
+func (n *Network) Node(id proc.ID) proc.Node { return n.nodes[id] }
+
+// send is called by a process env.
+func (n *Network) send(from, to proc.ID, msg any) {
+	if n.crashed[from] {
+		return // a crashed process executes nothing
+	}
+	if to < 0 || to >= len(n.nodes) {
+		panic(fmt.Sprintf("netsim: send to invalid process %d", to))
+	}
+	n.nextSeq++
+	ev := &Envelope{
+		Seq:     n.nextSeq,
+		From:    from,
+		To:      to,
+		Payload: msg,
+		SentAt:  n.sched.Now(),
+	}
+	n.stats.Sent++
+	if wm, ok := msg.(wire.Message); ok {
+		n.stats.ByKind[wm.Kind()]++
+		n.stats.Bytes += uint64(wm.Size())
+		n.stats.BytesKind[wm.Kind()] += uint64(wm.Size())
+	}
+	d := n.policy.Delay(ev, n.rand)
+	if d < 0 {
+		d = 0
+	}
+	n.sched.After(d, func() { n.arrive(ev) })
+}
+
+// arrive runs when an envelope's transfer delay has elapsed.
+func (n *Network) arrive(ev *Envelope) {
+	if n.gate != nil && !n.gate.OnArrival(ev, n.sched.Now()) {
+		return // gate holds it; it will come back via OnDelivered
+	}
+	n.deliverChain(ev)
+}
+
+// deliverChain delivers ev and then any envelopes the gate releases,
+// breadth-first, all at the current instant.
+func (n *Network) deliverChain(first *Envelope) {
+	queue := []*Envelope{first}
+	for len(queue) > 0 {
+		ev := queue[0]
+		queue = queue[1:]
+		n.deliverOne(ev)
+		if n.gate != nil {
+			released := n.gate.OnDelivered(ev, n.sched.Now())
+			for _, rel := range released {
+				rel.Released = true
+			}
+			queue = append(queue, released...)
+		}
+	}
+}
+
+func (n *Network) deliverOne(ev *Envelope) {
+	if n.crashed[ev.To] {
+		n.stats.Dropped++
+		return
+	}
+	n.stats.Delivered++
+	if !n.started[ev.To] {
+		// The model starts all processes "at the beginning"; a message
+		// arriving before the (staggered) start is buffered by
+		// redelivery shortly after. This keeps reliable-link semantics
+		// with staggered starts.
+		n.sched.After(time.Millisecond, func() { n.deliverOne(ev) })
+		n.stats.Delivered--
+		return
+	}
+	n.nodes[ev.To].OnMessage(ev.From, ev.Payload)
+	if n.OnDeliver != nil {
+		n.OnDeliver(ev)
+	}
+}
+
+// env implements proc.Env for one simulated process.
+type env struct {
+	net    *Network
+	id     proc.ID
+	timers map[proc.TimerKey]sim.EventID
+}
+
+func (e *env) ID() proc.ID { return e.id }
+func (e *env) N() int      { return e.net.N() }
+
+func (e *env) Now() time.Duration { return time.Duration(e.net.sched.Now()) }
+
+func (e *env) Send(to proc.ID, msg any) { e.net.send(e.id, to, msg) }
+
+func (e *env) SetTimer(key proc.TimerKey, d time.Duration) {
+	if old, ok := e.timers[key]; ok {
+		e.net.sched.Cancel(old)
+	}
+	if d < 0 {
+		d = 0
+	}
+	e.timers[key] = e.net.sched.After(d, func() {
+		delete(e.timers, key)
+		if e.net.crashed[e.id] {
+			return
+		}
+		e.net.nodes[e.id].OnTimer(key)
+	})
+}
+
+func (e *env) StopTimer(key proc.TimerKey) {
+	if old, ok := e.timers[key]; ok {
+		e.net.sched.Cancel(old)
+		delete(e.timers, key)
+	}
+}
+
+var _ proc.Env = (*env)(nil)

@@ -1,0 +1,333 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// echoNode records everything it receives and can send on request.
+type echoNode struct {
+	env      proc.Env
+	received []recv
+	timers   []proc.TimerKey
+	crashed  bool
+}
+
+type recv struct {
+	from proc.ID
+	msg  any
+	at   time.Duration
+}
+
+func (e *echoNode) Start(env proc.Env) { e.env = env }
+func (e *echoNode) OnMessage(from proc.ID, msg any) {
+	e.received = append(e.received, recv{from, msg, e.env.Now()})
+}
+func (e *echoNode) OnTimer(key proc.TimerKey) { e.timers = append(e.timers, key) }
+func (e *echoNode) OnCrash()                  { e.crashed = true }
+
+func constDelay(d time.Duration) DelayPolicy {
+	return DelayFunc(func(*Envelope, *sim.Rand) time.Duration { return d })
+}
+
+func newTestNet(t *testing.T, n int, policy DelayPolicy, gate Gate) (*Network, []*echoNode, *sim.Scheduler) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	net, err := New(sched, Config{N: n, Seed: 1, Policy: policy, Gate: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*echoNode, n)
+	for i := range nodes {
+		nodes[i] = &echoNode{}
+		net.Register(i, nodes[i])
+	}
+	net.StartAll()
+	return net, nodes, sched
+}
+
+func TestDeliveryWithDelay(t *testing.T) {
+	net, nodes, sched := newTestNet(t, 2, constDelay(5*time.Millisecond), nil)
+	sched.RunFor(time.Millisecond) // let Start run
+	nodes[0].env.Send(1, &wire.Heartbeat{Seq: 1})
+	sched.RunFor(time.Second)
+	if len(nodes[1].received) != 1 {
+		t.Fatalf("received %d messages, want 1", len(nodes[1].received))
+	}
+	r := nodes[1].received[0]
+	if r.from != 0 {
+		t.Errorf("from = %d", r.from)
+	}
+	if r.at != time.Millisecond+5*time.Millisecond {
+		t.Errorf("delivered at %v, want 6ms", r.at)
+	}
+	st := net.Stats()
+	if st.Sent != 1 || st.Delivered != 1 || st.Dropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.ByKind[wire.KindHeartbeat] != 1 {
+		t.Errorf("ByKind = %v", st.ByKind)
+	}
+	if st.Bytes == 0 {
+		t.Error("Bytes not accounted")
+	}
+}
+
+func TestSendToSelf(t *testing.T) {
+	_, nodes, sched := newTestNet(t, 1, constDelay(0), nil)
+	sched.RunFor(time.Millisecond)
+	nodes[0].env.Send(0, &wire.Heartbeat{Seq: 2})
+	sched.RunFor(time.Second)
+	if len(nodes[0].received) != 1 {
+		t.Fatalf("self-delivery failed: %d messages", len(nodes[0].received))
+	}
+}
+
+func TestCrashStopsDelivery(t *testing.T) {
+	net, nodes, sched := newTestNet(t, 2, constDelay(10*time.Millisecond), nil)
+	net.CrashAt(1, sim.Time(5*time.Millisecond))
+	sched.RunFor(time.Millisecond)
+	nodes[0].env.Send(1, &wire.Heartbeat{Seq: 1}) // in flight when 1 crashes
+	sched.RunFor(time.Second)
+	if len(nodes[1].received) != 0 {
+		t.Fatalf("crashed process received %d messages", len(nodes[1].received))
+	}
+	st := net.Stats()
+	if st.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", st.Dropped)
+	}
+	if !net.Crashed(1) || net.Crashed(0) {
+		t.Error("Crashed flags wrong")
+	}
+	if got := net.Correct(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Correct = %v", got)
+	}
+	if !nodes[1].crashed {
+		t.Error("OnCrash not called")
+	}
+}
+
+func TestCrashedProcessSendsNothing(t *testing.T) {
+	net, nodes, sched := newTestNet(t, 2, constDelay(0), nil)
+	sched.RunFor(time.Millisecond)
+	net.CrashAt(0, sim.Time(2*time.Millisecond))
+	sched.RunFor(5 * time.Millisecond)
+	nodes[0].env.Send(1, &wire.Heartbeat{Seq: 1}) // from a crashed process
+	sched.RunFor(time.Second)
+	if len(nodes[1].received) != 0 {
+		t.Fatal("message from crashed process was delivered")
+	}
+	if net.Stats().Sent != 0 {
+		t.Error("send from crashed process was counted")
+	}
+}
+
+func TestCrashCancelsTimers(t *testing.T) {
+	net, nodes, sched := newTestNet(t, 1, constDelay(0), nil)
+	sched.RunFor(time.Millisecond)
+	nodes[0].env.SetTimer(1, 10*time.Millisecond)
+	net.CrashAt(0, sim.Time(5*time.Millisecond))
+	sched.RunFor(time.Second)
+	if len(nodes[0].timers) != 0 {
+		t.Fatalf("timer fired on crashed process: %v", nodes[0].timers)
+	}
+}
+
+func TestTimerRearmReplaces(t *testing.T) {
+	_, nodes, sched := newTestNet(t, 1, constDelay(0), nil)
+	sched.RunFor(time.Millisecond)
+	nodes[0].env.SetTimer(7, 10*time.Millisecond)
+	nodes[0].env.SetTimer(7, 50*time.Millisecond) // replaces
+	sched.RunFor(20 * time.Millisecond)
+	if len(nodes[0].timers) != 0 {
+		t.Fatal("replaced timer fired early")
+	}
+	sched.RunFor(time.Second)
+	if len(nodes[0].timers) != 1 || nodes[0].timers[0] != 7 {
+		t.Fatalf("timers = %v", nodes[0].timers)
+	}
+}
+
+func TestStopTimer(t *testing.T) {
+	_, nodes, sched := newTestNet(t, 1, constDelay(0), nil)
+	sched.RunFor(time.Millisecond)
+	nodes[0].env.SetTimer(3, 10*time.Millisecond)
+	nodes[0].env.StopTimer(3)
+	sched.RunFor(time.Second)
+	if len(nodes[0].timers) != 0 {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestZeroTimerFiresImmediately(t *testing.T) {
+	_, nodes, sched := newTestNet(t, 1, constDelay(0), nil)
+	sched.RunFor(time.Millisecond)
+	nodes[0].env.SetTimer(1, 0)
+	sched.RunFor(time.Millisecond)
+	if len(nodes[0].timers) != 1 {
+		t.Fatal("zero timer did not fire")
+	}
+}
+
+func TestMultipleTimerKeys(t *testing.T) {
+	_, nodes, sched := newTestNet(t, 1, constDelay(0), nil)
+	sched.RunFor(time.Millisecond)
+	nodes[0].env.SetTimer(1, 5*time.Millisecond)
+	nodes[0].env.SetTimer(2, 3*time.Millisecond)
+	sched.RunFor(time.Second)
+	if len(nodes[0].timers) != 2 || nodes[0].timers[0] != 2 || nodes[0].timers[1] != 1 {
+		t.Fatalf("timers = %v", nodes[0].timers)
+	}
+}
+
+// holdGate holds the first arriving message until the second is delivered.
+type holdGate struct {
+	held  []*Envelope
+	count int
+}
+
+func (g *holdGate) OnArrival(ev *Envelope, _ sim.Time) bool {
+	g.count++
+	if g.count == 1 && !ev.Released {
+		g.held = append(g.held, ev)
+		return false
+	}
+	return true
+}
+
+func (g *holdGate) OnDelivered(_ *Envelope, _ sim.Time) []*Envelope {
+	out := g.held
+	g.held = nil
+	return out
+}
+
+func TestGateReordersDeliveries(t *testing.T) {
+	gate := &holdGate{}
+	_, nodes, sched := newTestNet(t, 3, constDelay(time.Millisecond), gate)
+	sched.RunFor(time.Millisecond)
+	nodes[0].env.Send(2, &wire.Heartbeat{Seq: 100}) // will be held
+	nodes[1].env.Send(2, &wire.Heartbeat{Seq: 200}) // delivered first, releases held
+	sched.RunFor(time.Second)
+	got := nodes[2].received
+	if len(got) != 2 {
+		t.Fatalf("received %d, want 2", len(got))
+	}
+	if got[0].msg.(*wire.Heartbeat).Seq != 200 || got[1].msg.(*wire.Heartbeat).Seq != 100 {
+		t.Fatalf("gate did not reorder: %v then %v", got[0].msg, got[1].msg)
+	}
+	// Both released at the same instant.
+	if got[0].at != got[1].at {
+		t.Errorf("release instants differ: %v vs %v", got[0].at, got[1].at)
+	}
+}
+
+func TestStaggeredStartBuffersMessages(t *testing.T) {
+	sched := sim.NewScheduler()
+	net, err := New(sched, Config{N: 2, Seed: 1, Policy: constDelay(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := &echoNode{}, &echoNode{}
+	net.Register(0, a)
+	net.Register(1, b)
+	net.StartAt(0, 0)
+	net.StartAt(1, sim.Time(50*time.Millisecond)) // late starter
+	sched.RunFor(time.Millisecond)
+	a.env.Send(1, &wire.Heartbeat{Seq: 9})
+	sched.RunFor(time.Second)
+	if len(b.received) != 1 {
+		t.Fatalf("late starter received %d messages, want 1 (buffered)", len(b.received))
+	}
+	if b.received[0].at < 50*time.Millisecond {
+		t.Fatalf("delivered before start: %v", b.received[0].at)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	sched := sim.NewScheduler()
+	if _, err := New(sched, Config{N: 0, Policy: constDelay(0)}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := New(sched, Config{N: 3}); err == nil {
+		t.Error("nil policy accepted")
+	}
+}
+
+func TestDoubleRegisterPanics(t *testing.T) {
+	sched := sim.NewScheduler()
+	net, err := New(sched, Config{N: 1, Seed: 1, Policy: constDelay(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Register(0, &echoNode{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Register did not panic")
+		}
+	}()
+	net.Register(0, &echoNode{})
+}
+
+func TestDeterministicDeliveryOrder(t *testing.T) {
+	run := func() []recv {
+		sched := sim.NewScheduler()
+		net, err := New(sched, Config{N: 4, Seed: 42, Policy: DelayFunc(
+			func(ev *Envelope, r *sim.Rand) time.Duration {
+				return r.Duration(time.Millisecond, 20*time.Millisecond)
+			})})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := make([]*echoNode, 4)
+		for i := range nodes {
+			nodes[i] = &echoNode{}
+			net.Register(i, nodes[i])
+		}
+		net.StartAll()
+		sched.RunFor(time.Millisecond)
+		for i := 1; i < 4; i++ {
+			nodes[i].env.Send(0, &wire.Heartbeat{Seq: int64(i)})
+			nodes[i].env.Send(0, &wire.Heartbeat{Seq: int64(10 + i)})
+		}
+		sched.RunFor(time.Second)
+		return nodes[0].received
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 6 {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].from != b[i].from || a[i].at != b[i].at ||
+			a[i].msg.(*wire.Heartbeat).Seq != b[i].msg.(*wire.Heartbeat).Seq {
+			t.Fatalf("runs diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestOnDeliverHook(t *testing.T) {
+	net, nodes, sched := newTestNet(t, 2, constDelay(0), nil)
+	var seen []*Envelope
+	net.OnDeliver = func(ev *Envelope) { seen = append(seen, ev) }
+	sched.RunFor(time.Millisecond)
+	nodes[0].env.Send(1, &wire.Heartbeat{Seq: 1})
+	sched.RunFor(time.Second)
+	if len(seen) != 1 || seen[0].From != 0 || seen[0].To != 1 {
+		t.Fatalf("hook saw %v", seen)
+	}
+}
+
+func TestOnCrashHook(t *testing.T) {
+	net, _, sched := newTestNet(t, 2, constDelay(0), nil)
+	var crashedID proc.ID = -1
+	var at sim.Time
+	net.OnCrashHook = func(id proc.ID, t sim.Time) { crashedID, at = id, t }
+	net.CrashAt(1, sim.Time(7*time.Millisecond))
+	sched.RunFor(time.Second)
+	if crashedID != 1 || at != sim.Time(7*time.Millisecond) {
+		t.Fatalf("crash hook: id=%d at=%v", crashedID, at)
+	}
+}

@@ -1,0 +1,124 @@
+package proc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Mux hosts several protocol Nodes behind a single transport endpoint and
+// routes messages between co-hosted lanes. It is how a process runs Ω and a
+// consensus instance side by side (Theorem 5): each sub-node gets a lane; its
+// outgoing messages are wrapped in wire.Mux envelopes and unwrapped on
+// delivery. Timer keys are partitioned per lane so sub-nodes cannot collide.
+//
+// Mux implements Node and can itself be registered with any transport.
+type Mux struct {
+	env   Env
+	lanes []Node
+}
+
+// timer keys are partitioned as key*laneStride + lane.
+const laneStride = 64
+
+// NewMux returns a Mux with no lanes; attach sub-nodes with AddLane before
+// the transport starts the Mux.
+func NewMux() *Mux { return &Mux{} }
+
+// AddLane registers node under the next free lane number, which it returns.
+// Must be called before Start.
+func (m *Mux) AddLane(node Node) int {
+	if node == nil {
+		panic("proc: AddLane with nil node")
+	}
+	if len(m.lanes) >= laneStride {
+		panic(fmt.Sprintf("proc: too many lanes (max %d)", laneStride))
+	}
+	m.lanes = append(m.lanes, node)
+	return len(m.lanes) - 1
+}
+
+// Lane returns the node registered at lane l.
+func (m *Mux) Lane(l int) Node { return m.lanes[l] }
+
+// Start implements Node: it starts every lane with a lane-scoped Env.
+func (m *Mux) Start(env Env) {
+	m.env = env
+	for l, node := range m.lanes {
+		node.Start(&laneEnv{mux: m, lane: uint8(l)})
+	}
+}
+
+// OnMessage implements Node: it unwraps the envelope and dispatches to the
+// addressed lane. Non-Mux messages and unknown lanes indicate a wiring bug
+// and panic (the transports never corrupt payloads).
+func (m *Mux) OnMessage(from ID, msg any) {
+	env, ok := msg.(*wire.Mux)
+	if !ok {
+		panic(fmt.Sprintf("proc: Mux received non-envelope %T", msg))
+	}
+	if int(env.Lane) >= len(m.lanes) {
+		panic(fmt.Sprintf("proc: message for unknown lane %d", env.Lane))
+	}
+	m.lanes[env.Lane].OnMessage(from, env.Inner)
+}
+
+// OnTimer implements Node.
+func (m *Mux) OnTimer(key TimerKey) {
+	lane := int(key) % laneStride
+	if lane >= len(m.lanes) {
+		panic(fmt.Sprintf("proc: timer for unknown lane %d", lane))
+	}
+	m.lanes[lane].OnTimer(TimerKey(int(key) / laneStride))
+}
+
+// OnCrash implements Crashable, forwarding to every lane that cares.
+func (m *Mux) OnCrash() {
+	for _, node := range m.lanes {
+		if c, ok := node.(Crashable); ok {
+			c.OnCrash()
+		}
+	}
+}
+
+var (
+	_ Node      = (*Mux)(nil)
+	_ Crashable = (*Mux)(nil)
+)
+
+// laneEnv scopes an Env to one lane: sends wrap messages in envelopes and
+// timer keys are shifted into the lane's partition.
+type laneEnv struct {
+	mux  *Mux
+	lane uint8
+}
+
+func (e *laneEnv) ID() ID             { return e.mux.env.ID() }
+func (e *laneEnv) N() int             { return e.mux.env.N() }
+func (e *laneEnv) Now() time.Duration { return e.mux.env.Now() }
+
+func (e *laneEnv) Send(to ID, msg any) {
+	wm, ok := msg.(wire.Message)
+	if !ok {
+		panic(fmt.Sprintf("proc: lane %d sent non-wire message %T", e.lane, msg))
+	}
+	e.mux.env.Send(to, &wire.Mux{Lane: e.lane, Inner: wm})
+}
+
+func (e *laneEnv) SetTimer(key TimerKey, d time.Duration) {
+	e.mux.env.SetTimer(e.scoped(key), d)
+}
+
+func (e *laneEnv) StopTimer(key TimerKey) {
+	e.mux.env.StopTimer(e.scoped(key))
+}
+
+func (e *laneEnv) scoped(key TimerKey) TimerKey {
+	if key < 0 {
+		panic("proc: negative timer key")
+	}
+	return TimerKey(int(key)*laneStride + int(e.lane))
+}
+
+var _ Env = (*laneEnv)(nil)

@@ -1,0 +1,200 @@
+package proc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+type recordEnv struct {
+	id, n   int
+	now     time.Duration
+	sent    []recordedSend
+	timers  map[TimerKey]time.Duration
+	stopped []TimerKey
+}
+
+type recordedSend struct {
+	to  ID
+	msg any
+}
+
+func newRecordEnv(id, n int) *recordEnv {
+	return &recordEnv{id: id, n: n, timers: make(map[TimerKey]time.Duration)}
+}
+
+func (e *recordEnv) ID() ID                               { return e.id }
+func (e *recordEnv) N() int                               { return e.n }
+func (e *recordEnv) Now() time.Duration                   { return e.now }
+func (e *recordEnv) Send(to ID, msg any)                  { e.sent = append(e.sent, recordedSend{to, msg}) }
+func (e *recordEnv) SetTimer(k TimerKey, d time.Duration) { e.timers[k] = d }
+func (e *recordEnv) StopTimer(k TimerKey)                 { e.stopped = append(e.stopped, k) }
+
+type stubNode struct {
+	env      Env
+	started  bool
+	messages []any
+	froms    []ID
+	timers   []TimerKey
+	crashed  bool
+}
+
+func (s *stubNode) Start(env Env) { s.env = env; s.started = true }
+func (s *stubNode) OnMessage(from ID, msg any) {
+	s.froms = append(s.froms, from)
+	s.messages = append(s.messages, msg)
+}
+func (s *stubNode) OnTimer(key TimerKey) { s.timers = append(s.timers, key) }
+func (s *stubNode) OnCrash()             { s.crashed = true }
+
+func TestMuxStartsAllLanes(t *testing.T) {
+	m := NewMux()
+	a, b := &stubNode{}, &stubNode{}
+	if l := m.AddLane(a); l != 0 {
+		t.Fatalf("first lane = %d", l)
+	}
+	if l := m.AddLane(b); l != 1 {
+		t.Fatalf("second lane = %d", l)
+	}
+	m.Start(newRecordEnv(2, 5))
+	if !a.started || !b.started {
+		t.Fatal("lanes not started")
+	}
+	if a.env.ID() != 2 || a.env.N() != 5 {
+		t.Fatal("lane env identity wrong")
+	}
+	if m.Lane(0) != a || m.Lane(1) != b {
+		t.Fatal("Lane accessor wrong")
+	}
+}
+
+func TestMuxWrapsSends(t *testing.T) {
+	m := NewMux()
+	a := &stubNode{}
+	b := &stubNode{}
+	m.AddLane(a)
+	m.AddLane(b)
+	env := newRecordEnv(0, 3)
+	m.Start(env)
+	b.env.Send(2, &wire.Heartbeat{Seq: 7})
+	if len(env.sent) != 1 {
+		t.Fatalf("sent %d messages", len(env.sent))
+	}
+	wrapped, ok := env.sent[0].msg.(*wire.Mux)
+	if !ok || wrapped.Lane != 1 {
+		t.Fatalf("wrapped = %#v", env.sent[0].msg)
+	}
+	if hb, ok := wrapped.Inner.(*wire.Heartbeat); !ok || hb.Seq != 7 {
+		t.Fatalf("inner = %#v", wrapped.Inner)
+	}
+}
+
+func TestMuxRoutesMessages(t *testing.T) {
+	m := NewMux()
+	a, b := &stubNode{}, &stubNode{}
+	m.AddLane(a)
+	m.AddLane(b)
+	m.Start(newRecordEnv(0, 3))
+	m.OnMessage(2, &wire.Mux{Lane: 1, Inner: &wire.Heartbeat{Seq: 9}})
+	if len(a.messages) != 0 {
+		t.Fatal("lane 0 received lane 1's message")
+	}
+	if len(b.messages) != 1 || b.froms[0] != 2 {
+		t.Fatalf("lane 1 messages = %v from %v", b.messages, b.froms)
+	}
+	if hb, ok := b.messages[0].(*wire.Heartbeat); !ok || hb.Seq != 9 {
+		t.Fatalf("unwrapped = %#v", b.messages[0])
+	}
+}
+
+func TestMuxPartitionsTimers(t *testing.T) {
+	m := NewMux()
+	a, b := &stubNode{}, &stubNode{}
+	m.AddLane(a)
+	m.AddLane(b)
+	env := newRecordEnv(0, 3)
+	m.Start(env)
+	a.env.SetTimer(1, time.Millisecond)
+	b.env.SetTimer(1, time.Millisecond)
+	if len(env.timers) != 2 {
+		t.Fatalf("timer keys collided: %v", env.timers)
+	}
+	// Fire both scoped keys through the mux and check routing.
+	for key := range env.timers {
+		m.OnTimer(key)
+	}
+	if len(a.timers) != 1 || a.timers[0] != 1 {
+		t.Fatalf("lane 0 timers = %v", a.timers)
+	}
+	if len(b.timers) != 1 || b.timers[0] != 1 {
+		t.Fatalf("lane 1 timers = %v", b.timers)
+	}
+}
+
+func TestMuxStopTimer(t *testing.T) {
+	m := NewMux()
+	a := &stubNode{}
+	m.AddLane(a)
+	env := newRecordEnv(0, 3)
+	m.Start(env)
+	a.env.SetTimer(3, time.Millisecond)
+	a.env.StopTimer(3)
+	if len(env.stopped) != 1 {
+		t.Fatalf("stopped = %v", env.stopped)
+	}
+}
+
+func TestMuxCrashPropagates(t *testing.T) {
+	m := NewMux()
+	a, b := &stubNode{}, &stubNode{}
+	m.AddLane(a)
+	m.AddLane(b)
+	m.Start(newRecordEnv(0, 3))
+	m.OnCrash()
+	if !a.crashed || !b.crashed {
+		t.Fatal("OnCrash not propagated")
+	}
+}
+
+func TestMuxPanicsOnGarbage(t *testing.T) {
+	m := NewMux()
+	m.AddLane(&stubNode{})
+	m.Start(newRecordEnv(0, 3))
+	cases := map[string]func(){
+		"nonEnvelope":  func() { m.OnMessage(1, &wire.Heartbeat{Seq: 1}) },
+		"unknownLane":  func() { m.OnMessage(1, &wire.Mux{Lane: 9, Inner: &wire.Heartbeat{}}) },
+		"nilLane":      func() { m.AddLane(nil) },
+		"nonWireSend":  func() { m.Lane(0).(*stubNode).env.Send(1, "raw string") },
+		"negTimerKey":  func() { m.Lane(0).(*stubNode).env.SetTimer(-1, time.Second) },
+		"unknownTimer": func() { m.OnTimer(TimerKey(63)) }, // lane 63 unused
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBroadcastHelpers(t *testing.T) {
+	env := newRecordEnv(1, 4)
+	Broadcast(env, "x")
+	if len(env.sent) != 3 {
+		t.Fatalf("Broadcast sent %d", len(env.sent))
+	}
+	for _, s := range env.sent {
+		if s.to == 1 {
+			t.Fatal("Broadcast sent to self")
+		}
+	}
+	env.sent = nil
+	BroadcastAll(env, "y")
+	if len(env.sent) != 4 {
+		t.Fatalf("BroadcastAll sent %d", len(env.sent))
+	}
+}

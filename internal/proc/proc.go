@@ -1,0 +1,94 @@
+// Package proc defines the transport-agnostic process abstraction shared by
+// every protocol in this repository.
+//
+// A protocol is written as a reactive Node: it is started once, then receives
+// messages and timer expirations through callbacks, and talks to the world
+// only through its Env. The same Node code runs unchanged on the
+// deterministic discrete-event simulator (internal/netsim + internal/sim) and
+// on the real-time goroutine runtime (internal/runtime).
+//
+// Concurrency contract: an Env invokes the callbacks of a given Node
+// serially. A Node therefore needs no internal locking, exactly like the
+// atomically-executed statement blocks in the paper's pseudocode.
+package proc
+
+import "time"
+
+// ID is a process identifier in [0, N). The paper indexes processes 1..n;
+// this repository uses 0-based ids throughout.
+type ID = int
+
+// None is the sentinel "no process" value.
+const None ID = -1
+
+// TimerKey distinguishes the concurrently pending timers of one node (e.g.
+// the periodic ALIVE tick and the receiving-round timeout).
+type TimerKey int
+
+// Env is the world as seen by a single process: identity, membership, a
+// clock, message transmission, and named one-shot timers.
+type Env interface {
+	// ID returns this process's identifier.
+	ID() ID
+	// N returns the total number of processes in the system.
+	N() int
+	// Now returns elapsed time since the run started (virtual on the
+	// simulator, wall-clock on the runtime). Processes own accurate
+	// interval clocks (paper §2.1) but share no global clock; Now must
+	// only be used to measure local intervals.
+	Now() time.Duration
+	// Send transmits msg on the link to process to. Sending to self is
+	// allowed and is delivered like any other message (the paper's line
+	// 10 sends SUSPICION to every process including the sender).
+	// Sends never block and never fail: links are reliable (§2.1).
+	Send(to ID, msg any)
+	// SetTimer (re)arms the one-shot timer identified by key to fire
+	// after d. Arming replaces any earlier deadline for the same key;
+	// d <= 0 fires the timer as soon as possible.
+	SetTimer(key TimerKey, d time.Duration)
+	// StopTimer disarms the timer identified by key, if armed.
+	StopTimer(key TimerKey)
+}
+
+// Node is a reactive protocol instance.
+type Node interface {
+	// Start runs once before any other callback; the node stores env and
+	// performs its "init" block (arming timers, sending first messages).
+	Start(env Env)
+	// OnMessage delivers a message sent by process from.
+	OnMessage(from ID, msg any)
+	// OnTimer fires when the one-shot timer armed under key expires.
+	OnTimer(key TimerKey)
+}
+
+// Crashable is implemented by nodes that want to observe their own crash
+// (e.g. to stop bookkeeping); the transports call it at crash time, after
+// which no further callbacks are delivered.
+type Crashable interface {
+	OnCrash()
+}
+
+// LeaderOracle is any node exposing an Ω-style leader estimate. The paper's
+// leader() primitive (Figure 1, lines 19-21).
+type LeaderOracle interface {
+	Leader() ID
+}
+
+// Broadcast sends msg to every process except the sender (the paper's
+// "for each j != i do send ... to p_j", Figure 1 line 3).
+func Broadcast(env Env, msg any) {
+	self := env.ID()
+	for j := 0; j < env.N(); j++ {
+		if j != self {
+			env.Send(j, msg)
+		}
+	}
+}
+
+// BroadcastAll sends msg to every process including the sender (the paper's
+// "for each j do send ... to p_j", Figure 1 line 10).
+func BroadcastAll(env Env, msg any) {
+	for j := 0; j < env.N(); j++ {
+		env.Send(j, msg)
+	}
+}

@@ -1,0 +1,316 @@
+// Package runtime runs the same proc.Node protocol code that the simulator
+// drives, but live: one goroutine per process, channel-based links with an
+// injectable delay function, and real wall-clock timers. It exists to
+// demonstrate that the algorithms are transport-independent (the examples
+// use it) and to exercise the implementations under true concurrency (the
+// race detector runs over these tests).
+//
+// Concurrency model: each process has a single consumer goroutine that
+// serializes all callbacks of its node, preserving the proc.Node contract
+// (the paper's atomically-executed statement blocks). Sends enqueue into the
+// destination's unbounded mailbox after the injected delay; links are
+// reliable and unordered, like the model's.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/proc"
+)
+
+// DelayFunc chooses a per-message transfer delay. It must be safe for
+// concurrent use. nil means immediate delivery.
+type DelayFunc func(from, to proc.ID, msg any) time.Duration
+
+// Config parameterizes a Cluster.
+type Config struct {
+	N     int
+	Delay DelayFunc
+}
+
+// event is one unit of work for a process goroutine.
+type event struct {
+	kind int // 0 message, 1 timer, 2 crash
+	from proc.ID
+	msg  any
+	key  proc.TimerKey
+	tgen uint64
+}
+
+// Cluster owns the processes and their links.
+type Cluster struct {
+	cfg     Config
+	nodes   []proc.Node
+	envs    []*renv
+	started bool
+	stopped chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New creates a cluster; register nodes, then Start it.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("runtime: N must be >= 1, got %d", cfg.N)
+	}
+	c := &Cluster{cfg: cfg, nodes: make([]proc.Node, cfg.N), stopped: make(chan struct{})}
+	c.envs = make([]*renv, cfg.N)
+	for i := range c.envs {
+		c.envs[i] = newREnv(c, i)
+	}
+	return c, nil
+}
+
+// Register installs node as process id; must precede Start.
+func (c *Cluster) Register(id proc.ID, node proc.Node) {
+	if c.started {
+		panic("runtime: Register after Start")
+	}
+	if c.nodes[id] != nil {
+		panic(fmt.Sprintf("runtime: process %d registered twice", id))
+	}
+	c.nodes[id] = node
+}
+
+// Start launches every process goroutine and calls the nodes' Start.
+func (c *Cluster) Start() {
+	if c.started {
+		panic("runtime: double Start")
+	}
+	c.started = true
+	for id, n := range c.nodes {
+		if n == nil {
+			panic(fmt.Sprintf("runtime: process %d not registered", id))
+		}
+	}
+	for id := range c.nodes {
+		c.wg.Add(1)
+		go c.runProcess(id)
+	}
+}
+
+// runProcess is the per-process event loop; it serializes all callbacks.
+func (c *Cluster) runProcess(id proc.ID) {
+	defer c.wg.Done()
+	env := c.envs[id]
+	env.node = c.nodes[id]
+	env.node.Start(env)
+	for {
+		ev, ok := env.box.pop(c.stopped)
+		if !ok {
+			return
+		}
+		env.handle(ev)
+		if env.isCrashed() {
+			// Keep draining (and discarding) so senders never care,
+			// but deliver nothing further.
+			continue
+		}
+	}
+}
+
+// Crash marks process id crashed: it stops sending, receiving, and firing
+// timers, like a crash-stop failure.
+func (c *Cluster) Crash(id proc.ID) {
+	c.envs[id].box.push(event{kind: 2})
+}
+
+// Crashed reports whether the process was crashed via Crash.
+func (c *Cluster) Crashed(id proc.ID) bool { return c.envs[id].isCrashed() }
+
+// Stop shuts the cluster down and waits for all process goroutines and
+// pending timers to finish. The cluster cannot be restarted.
+func (c *Cluster) Stop() {
+	close(c.stopped)
+	for _, env := range c.envs {
+		env.stopAllTimers()
+	}
+	c.wg.Wait()
+}
+
+// renv implements proc.Env for one live process.
+type renv struct {
+	cluster *Cluster
+	id      proc.ID
+	node    proc.Node
+	box     *mailbox
+	start   time.Time
+
+	mu      sync.Mutex
+	crashed bool
+	timers  map[proc.TimerKey]*timerSlot
+}
+
+type timerSlot struct {
+	gen   uint64
+	timer *time.Timer
+}
+
+func newREnv(c *Cluster, id proc.ID) *renv {
+	return &renv{
+		cluster: c,
+		id:      id,
+		box:     newMailbox(),
+		start:   time.Now(),
+		timers:  make(map[proc.TimerKey]*timerSlot),
+	}
+}
+
+func (e *renv) ID() proc.ID        { return e.id }
+func (e *renv) N() int             { return e.cluster.cfg.N }
+func (e *renv) Now() time.Duration { return time.Since(e.start) }
+
+func (e *renv) isCrashed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.crashed
+}
+
+// Send implements proc.Env.
+func (e *renv) Send(to proc.ID, msg any) {
+	if e.isCrashed() {
+		return
+	}
+	dst := e.cluster.envs[to]
+	var d time.Duration
+	if f := e.cluster.cfg.Delay; f != nil {
+		d = f(e.id, to, msg)
+	}
+	ev := event{kind: 0, from: e.id, msg: msg}
+	if d <= 0 {
+		dst.box.push(ev)
+		return
+	}
+	t := time.AfterFunc(d, func() {
+		select {
+		case <-e.cluster.stopped:
+		default:
+			dst.box.push(ev)
+		}
+	})
+	_ = t // in-flight messages are dropped wholesale at Stop
+}
+
+// SetTimer implements proc.Env.
+func (e *renv) SetTimer(key proc.TimerKey, d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return
+	}
+	slot := e.timers[key]
+	if slot == nil {
+		slot = &timerSlot{}
+		e.timers[key] = slot
+	} else if slot.timer != nil {
+		slot.timer.Stop()
+	}
+	slot.gen++
+	gen := slot.gen
+	if d < 0 {
+		d = 0
+	}
+	slot.timer = time.AfterFunc(d, func() {
+		e.box.push(event{kind: 1, key: key, tgen: gen})
+	})
+}
+
+// StopTimer implements proc.Env.
+func (e *renv) StopTimer(key proc.TimerKey) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if slot := e.timers[key]; slot != nil {
+		slot.gen++ // invalidate any in-flight fire
+		if slot.timer != nil {
+			slot.timer.Stop()
+		}
+	}
+}
+
+func (e *renv) stopAllTimers() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, slot := range e.timers {
+		slot.gen++
+		if slot.timer != nil {
+			slot.timer.Stop()
+		}
+	}
+}
+
+// handle runs one event on the owning goroutine.
+func (e *renv) handle(ev event) {
+	if e.isCrashed() {
+		return
+	}
+	switch ev.kind {
+	case 0:
+		e.node.OnMessage(ev.from, ev.msg)
+	case 1:
+		e.mu.Lock()
+		slot := e.timers[ev.key]
+		live := slot != nil && slot.gen == ev.tgen
+		e.mu.Unlock()
+		if live {
+			e.node.OnTimer(ev.key)
+		}
+	case 2:
+		e.mu.Lock()
+		e.crashed = true
+		for _, slot := range e.timers {
+			slot.gen++
+			if slot.timer != nil {
+				slot.timer.Stop()
+			}
+		}
+		e.mu.Unlock()
+		if cr, ok := e.node.(proc.Crashable); ok {
+			cr.OnCrash()
+		}
+	}
+}
+
+var _ proc.Env = (*renv)(nil)
+
+// mailbox is an unbounded MPSC queue: senders never block (links must not
+// exert backpressure in the model) and the single consumer waits on a
+// condition signal.
+type mailbox struct {
+	mu     sync.Mutex
+	items  []event
+	signal chan struct{}
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{signal: make(chan struct{}, 1)}
+}
+
+func (m *mailbox) push(ev event) {
+	m.mu.Lock()
+	m.items = append(m.items, ev)
+	m.mu.Unlock()
+	select {
+	case m.signal <- struct{}{}:
+	default:
+	}
+}
+
+// pop blocks until an event is available or stop is closed.
+func (m *mailbox) pop(stop <-chan struct{}) (event, bool) {
+	for {
+		m.mu.Lock()
+		if len(m.items) > 0 {
+			ev := m.items[0]
+			m.items = m.items[1:]
+			m.mu.Unlock()
+			return ev, true
+		}
+		m.mu.Unlock()
+		select {
+		case <-m.signal:
+		case <-stop:
+			return event{}, false
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package runtime
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proc"
+)
+
+// pingNode counts messages and timers, for transport-level tests.
+type pingNode struct {
+	mu       sync.Mutex
+	env      proc.Env
+	received []any
+	timers   int
+	crashed  bool
+}
+
+func (p *pingNode) Start(env proc.Env) { p.mu.Lock(); p.env = env; p.mu.Unlock() }
+func (p *pingNode) OnMessage(from proc.ID, msg any) {
+	p.mu.Lock()
+	p.received = append(p.received, msg)
+	p.mu.Unlock()
+}
+func (p *pingNode) OnTimer(key proc.TimerKey) {
+	p.mu.Lock()
+	p.timers++
+	p.mu.Unlock()
+}
+func (p *pingNode) OnCrash() { p.mu.Lock(); p.crashed = true; p.mu.Unlock() }
+
+func (p *pingNode) counts() (int, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.received), p.timers
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestDeliveryAndTimers(t *testing.T) {
+	c, err := New(Config{N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := &pingNode{}, &pingNode{}
+	c.Register(0, a)
+	c.Register(1, b)
+	c.Start()
+	defer c.Stop()
+
+	waitFor(t, time.Second, func() bool { a.mu.Lock(); defer a.mu.Unlock(); return a.env != nil })
+	a.mu.Lock()
+	env := a.env
+	a.mu.Unlock()
+	env.Send(1, "hello")
+	env.SetTimer(1, 5*time.Millisecond)
+
+	if !waitFor(t, time.Second, func() bool { n, _ := b.counts(); return n == 1 }) {
+		t.Fatal("message not delivered")
+	}
+	if !waitFor(t, time.Second, func() bool { _, n := a.counts(); return n == 1 }) {
+		t.Fatal("timer did not fire")
+	}
+}
+
+func TestTimerRearmReplaces(t *testing.T) {
+	c, err := New(Config{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &pingNode{}
+	c.Register(0, a)
+	c.Start()
+	defer c.Stop()
+	waitFor(t, time.Second, func() bool { a.mu.Lock(); defer a.mu.Unlock(); return a.env != nil })
+	a.mu.Lock()
+	env := a.env
+	a.mu.Unlock()
+	env.SetTimer(1, 5*time.Millisecond)
+	env.SetTimer(1, 300*time.Millisecond) // replaces; old fire must be dropped
+	time.Sleep(50 * time.Millisecond)
+	if _, n := a.counts(); n != 0 {
+		t.Fatalf("stale timer fired (%d)", n)
+	}
+}
+
+func TestStopTimer(t *testing.T) {
+	c, err := New(Config{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &pingNode{}
+	c.Register(0, a)
+	c.Start()
+	defer c.Stop()
+	waitFor(t, time.Second, func() bool { a.mu.Lock(); defer a.mu.Unlock(); return a.env != nil })
+	a.mu.Lock()
+	env := a.env
+	a.mu.Unlock()
+	env.SetTimer(2, 10*time.Millisecond)
+	env.StopTimer(2)
+	time.Sleep(50 * time.Millisecond)
+	if _, n := a.counts(); n != 0 {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestCrashStopsProcess(t *testing.T) {
+	c, err := New(Config{N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := &pingNode{}, &pingNode{}
+	c.Register(0, a)
+	c.Register(1, b)
+	c.Start()
+	defer c.Stop()
+	waitFor(t, time.Second, func() bool { b.mu.Lock(); defer b.mu.Unlock(); return b.env != nil })
+	c.Crash(1)
+	if !waitFor(t, time.Second, func() bool { b.mu.Lock(); defer b.mu.Unlock(); return b.crashed }) {
+		t.Fatal("OnCrash not invoked")
+	}
+	if !c.Crashed(1) {
+		t.Fatal("Crashed(1) = false")
+	}
+	a.mu.Lock()
+	env := a.env
+	a.mu.Unlock()
+	env.Send(1, "late")
+	time.Sleep(30 * time.Millisecond)
+	if n, _ := b.counts(); n != 0 {
+		t.Fatal("crashed process received a message")
+	}
+}
+
+func TestDelayFuncApplied(t *testing.T) {
+	var delayed bool
+	c, err := New(Config{N: 2, Delay: func(from, to proc.ID, msg any) time.Duration {
+		delayed = true
+		return 20 * time.Millisecond
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := &pingNode{}, &pingNode{}
+	c.Register(0, a)
+	c.Register(1, b)
+	c.Start()
+	defer c.Stop()
+	waitFor(t, time.Second, func() bool { a.mu.Lock(); defer a.mu.Unlock(); return a.env != nil })
+	start := time.Now()
+	a.mu.Lock()
+	env := a.env
+	a.mu.Unlock()
+	env.Send(1, "x")
+	if !waitFor(t, time.Second, func() bool { n, _ := b.counts(); return n == 1 }) {
+		t.Fatal("not delivered")
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= ~20ms", elapsed)
+	}
+	if !delayed {
+		t.Fatal("delay func not consulted")
+	}
+}
+
+// TestLiveLeaderElection runs the paper's Figure 3 algorithm over real
+// goroutines and channels: all processes must converge on a common correct
+// leader, and survive the leader crashing. Margins are generous; the test
+// asserts eventual agreement, not timing.
+func TestLiveLeaderElection(t *testing.T) {
+	const n, tt = 4, 1
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(1))
+	cluster, err := New(Config{N: n, Delay: func(from, to proc.ID, msg any) time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		return time.Duration(rng.Intn(300)) * time.Microsecond
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*core.Node, n)
+	for id := 0; id < n; id++ {
+		node, err := core.NewNode(id, core.Config{
+			N: n, T: tt,
+			Variant:     core.VariantFig3,
+			AlivePeriod: 4 * time.Millisecond,
+			TimeoutUnit: time.Millisecond,
+			Retention:   4096,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[id] = node
+		cluster.Register(id, node)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+
+	agreeOnCorrect := func() bool {
+		leader := proc.None
+		for id, node := range nodes {
+			if cluster.Crashed(id) {
+				continue
+			}
+			l := node.Leader()
+			if cluster.Crashed(l) {
+				return false
+			}
+			if leader == proc.None {
+				leader = l
+			} else if l != leader {
+				return false
+			}
+		}
+		return leader != proc.None
+	}
+	if !waitFor(t, 10*time.Second, agreeOnCorrect) {
+		t.Fatal("no common correct leader before crash")
+	}
+
+	// Crash the current leader; a new common correct leader must emerge.
+	victim := nodes[0].Leader()
+	cluster.Crash(victim)
+	if !waitFor(t, 20*time.Second, agreeOnCorrect) {
+		t.Fatalf("no re-election after crashing leader %d", victim)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{N: 0}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+}
+
+func TestDoubleStartPanics(t *testing.T) {
+	c, _ := New(Config{N: 1})
+	c.Register(0, &pingNode{})
+	c.Start()
+	defer c.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Start did not panic")
+		}
+	}()
+	c.Start()
+}

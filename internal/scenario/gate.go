@@ -1,0 +1,317 @@
+package scenario
+
+import (
+	"container/heap"
+
+	"repro/internal/netsim"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// winningGate enforces the paper's order-level message properties exactly:
+//
+//   - The "winning message" property (Definition 2): for every (receiver q,
+//     round rn) constrained as ModeWinning, the center's round-rn message is
+//     delivered to q before the (alpha-1)-th other round-rn message, so the
+//     receiving algorithm is guaranteed to count it inside its first alpha-1
+//     receptions.
+//
+//   - The "losing message" adversary (ModeLose, and the rotating victim of
+//     RotateLoseVictims): the attacked sender's round-rn message is held
+//     until the receiver's receiving round has moved past rn, so the message
+//     is neither timely nor winning — the minimal violation of A2 that pure
+//     asynchrony permits. Delay-based attacks cannot achieve this: receiving
+//     rounds lag ever further behind sending rounds (the dynamic proved in
+//     the paper's Claim C1), so every bounded-ahead delay eventually lands
+//     "in time" again. The receiver's current round is supplied by the round
+//     probe (SetRoundProbe); without a probe the lose constraint falls back
+//     to the delay policy's probe-scaled delays.
+//
+// The gate holds messages rather than tuning delays: both properties are
+// purely about order, so this realizes them exactly even under unbounded
+// delays (the time-free character of the message-pattern assumption [16]).
+//
+// Budget note: the algorithms complete a round after alpha receptions
+// including the receiver itself, i.e. after alpha-1 messages. For the
+// center's message to be counted it must arrive among the first alpha-1
+// messages, so at most alpha-2 others may precede it.
+type winningGate struct {
+	params   Params
+	schedule StarSchedule
+	tag      TagFunc
+	limit    int // max others delivered before the center's message
+
+	// crashed, when set, reports whether a process crashed; a crashed
+	// center releases its constraints (A2 case (1)) and messages to
+	// crashed receivers are not held.
+	crashed func(proc.ID) bool
+
+	// roundProbe, when set, returns a process's current receiving round
+	// (or a negative value when unknown); it powers the lose holds.
+	roundProbe func(proc.ID) int64
+
+	// leaderProbe, when set, returns the adversary's observation of the
+	// current leader (the chase target); see SetLeaderProbe.
+	leaderProbe func() proc.ID
+
+	state      map[gateKey]*gateEntry
+	loseHeld   map[proc.ID]*holdHeap
+	holdCount  map[gateKey]int // distinct held senders per (receiver, round)
+	lastBudget int
+	maxRN      int64
+	pruneLT    int64
+
+	// Metrics (exposed via Scenario.GateStats).
+	holdsWinning, holdsLose uint64
+}
+
+// loseHold is an envelope under a lose constraint, with its budget rank and
+// round tag.
+type loseHold struct {
+	ev   *netsim.Envelope
+	rank int
+	rn   int64
+}
+
+// holdHeap orders held envelopes by round tag so that releases (round
+// passed) pop from the top in O(log n).
+type holdHeap []loseHold
+
+func (h holdHeap) Len() int           { return len(h) }
+func (h holdHeap) Less(i, j int) bool { return h[i].rn < h[j].rn }
+func (h holdHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *holdHeap) Push(x any)        { *h = append(*h, x.(loseHold)) }
+func (h *holdHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+type gateKey struct {
+	to proc.ID
+	rn int64
+}
+
+type gateEntry struct {
+	centerDone bool
+	others     int
+	held       []*netsim.Envelope
+}
+
+// gateRetention bounds how many rounds of gate state are kept behind the
+// newest observed round. Algorithms never wait more than a handful of rounds
+// behind the frontier, so this is generous.
+const gateRetention = 4096
+
+func newWinningGate(p Params, schedule StarSchedule, tag TagFunc, alpha int) *winningGate {
+	limit := alpha - 2
+	if limit < 0 {
+		limit = 0
+	}
+	return &winningGate{
+		params:     p,
+		schedule:   schedule,
+		tag:        tag,
+		limit:      limit,
+		state:      make(map[gateKey]*gateEntry),
+		loseHeld:   make(map[proc.ID]*holdHeap),
+		holdCount:  make(map[gateKey]int),
+		lastBudget: p.N, // recomputed on first use
+	}
+}
+
+// Reliability note: a held message is released when the receiver's round
+// passes its tag (always finite — the hold budget keeps enough senders free
+// for rounds to keep closing) or when the budget shrinks below the hold's
+// rank (a crash happened after the hold was taken). No wall-clock backstop
+// is needed, and none may be used: receiving rounds lag sending rounds
+// without bound, so any fixed time-to-live would eventually release
+// messages back INTO their round and quietly disarm the adversary.
+
+// loseBudget returns how many senders the lose adversary may starve per
+// receiver without deadlocking receiving rounds: a round needs alpha
+// receptions (self plus alpha-1 others) out of n-1-crashed live senders, so
+// at most n - alpha - crashed senders can be held back. The center's lose
+// constraint has priority rank 1, the rotating victim rank 2.
+func (g *winningGate) loseBudget() int {
+	crashed := 0
+	if g.crashed != nil {
+		for id := 0; id < g.params.N; id++ {
+			if g.crashed(id) {
+				crashed++
+			}
+		}
+	}
+	return g.params.N - g.params.Alpha - crashed
+}
+
+// OnArrival implements netsim.Gate.
+func (g *winningGate) OnArrival(ev *netsim.Envelope, now sim.Time) bool {
+	if ev.Released {
+		return true // never re-hold
+	}
+	rn, ok := g.tag(ev.Payload)
+	if !ok {
+		return true
+	}
+	g.note(rn)
+	center := g.schedule.Center()
+	if ev.To == center || ev.From == ev.To {
+		return true
+	}
+	if g.crashed != nil && (g.crashed(center) || g.crashed(ev.To)) {
+		return true
+	}
+
+	// Lose holds: the attacked sender's round-rn message must miss the
+	// receiver's round-rn guard. Per (receiver, round), only as many
+	// DISTINCT senders may be held as round progress allows (loseBudget)
+	// — the chase target moves over time, so without this cap messages
+	// from several successive targets could pile onto one round and
+	// starve it, which would be message loss, not delay.
+	if g.roundProbe != nil {
+		budget := g.loseBudget()
+		if rank := g.loseRank(ev, rn); rank > 0 && rank <= budget {
+			key := gateKey{ev.To, rn}
+			if g.holdCount[key] >= budget {
+				return true // round's starvation budget exhausted
+			}
+			if r := g.roundProbe(ev.To); r >= 0 && rn >= r {
+				g.holdsLose++
+				g.holdCount[key]++
+				hh := g.loseHeld[ev.To]
+				if hh == nil {
+					hh = &holdHeap{}
+					g.loseHeld[ev.To] = hh
+				}
+				heap.Push(hh, loseHold{ev: ev, rank: rank, rn: rn})
+				return false
+			}
+			return true
+		}
+	}
+
+	// Winning holds: competitors wait for the center's message.
+	if ev.From == center || g.schedule.Mode(rn, ev.To) != ModeWinning {
+		return true
+	}
+	e := g.entry(gateKey{ev.To, rn})
+	if e.centerDone || e.others < g.limit {
+		return true
+	}
+	g.holdsWinning++
+	e.held = append(e.held, ev)
+	return false
+}
+
+// loseRank returns 0 when ev is not under a lose constraint, 1 for the
+// center's attackable messages (out-of-S rounds, or unconstrained receivers
+// while the center is the chased leader), 2 for the chased leader's
+// messages. The rank doubles as a priority against the hold budget.
+func (g *winningGate) loseRank(ev *netsim.Envelope, rn int64) int {
+	chased := proc.None
+	if g.params.RotateLoseVictims && g.leaderProbe != nil {
+		chased = g.leaderProbe()
+	}
+	if ev.From == g.schedule.Center() {
+		switch g.schedule.Mode(rn, ev.To) {
+		case ModeLose:
+			return 1
+		case ModeNone:
+			if chased == ev.From {
+				return 1
+			}
+		}
+		return 0
+	}
+	if chased == ev.From {
+		return 2
+	}
+	return 0
+}
+
+// OnDelivered implements netsim.Gate.
+func (g *winningGate) OnDelivered(ev *netsim.Envelope, now sim.Time) []*netsim.Envelope {
+	var out []*netsim.Envelope
+	// Lose releases: anything whose round the receiver has moved past
+	// (heap-ordered, so only the releasable prefix is touched), plus a
+	// full sweep when the budget shrank (a crash happened).
+	if g.roundProbe != nil {
+		if hh := g.loseHeld[ev.To]; hh != nil && hh.Len() > 0 {
+			r := g.roundProbe(ev.To)
+			for hh.Len() > 0 && (r < 0 || (*hh)[0].rn < r) {
+				h := heap.Pop(hh).(loseHold)
+				g.holdCount[gateKey{ev.To, h.rn}]--
+				if g.holdCount[gateKey{ev.To, h.rn}] <= 0 {
+					delete(g.holdCount, gateKey{ev.To, h.rn})
+				}
+				out = append(out, h.ev)
+			}
+		}
+		if budget := g.loseBudget(); budget < g.lastBudget {
+			g.lastBudget = budget
+			for to, hh := range g.loseHeld {
+				var keep holdHeap
+				for _, h := range *hh {
+					if h.rank > budget {
+						g.holdCount[gateKey{to, h.rn}]--
+						if g.holdCount[gateKey{to, h.rn}] <= 0 {
+							delete(g.holdCount, gateKey{to, h.rn})
+						}
+						out = append(out, h.ev)
+					} else {
+						keep = append(keep, h)
+					}
+				}
+				heap.Init(&keep)
+				*hh = keep
+			}
+		} else if budget > g.lastBudget {
+			g.lastBudget = budget
+		}
+	}
+
+	rn, ok := g.tag(ev.Payload)
+	if !ok {
+		return out
+	}
+	if g.schedule.Mode(rn, ev.To) == ModeWinning {
+		key := gateKey{ev.To, rn}
+		e := g.entry(key)
+		if ev.From == g.schedule.Center() {
+			e.centerDone = true
+			out = append(out, e.held...)
+			e.held = nil
+		} else {
+			e.others++
+		}
+	}
+	return out
+}
+
+func (g *winningGate) entry(k gateKey) *gateEntry {
+	e := g.state[k]
+	if e == nil {
+		e = &gateEntry{}
+		g.state[k] = e
+	}
+	return e
+}
+
+// note advances the pruning horizon. Held messages are never pruned: an
+// entry with held messages is released first (center crash or delivery), so
+// pruning only removes settled entries far behind the frontier.
+func (g *winningGate) note(rn int64) {
+	if rn <= g.maxRN {
+		return
+	}
+	g.maxRN = rn
+	horizon := g.maxRN - gateRetention
+	if horizon <= g.pruneLT {
+		return
+	}
+	for k, e := range g.state {
+		if k.rn < horizon && len(e.held) == 0 {
+			delete(g.state, k)
+		}
+	}
+	g.pruneLT = horizon
+}
+
+var _ netsim.Gate = (*winningGate)(nil)

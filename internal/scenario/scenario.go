@@ -1,0 +1,340 @@
+// Package scenario constructs executions of the simulated system that
+// satisfy, by construction, exactly one of the synchrony assumptions studied
+// in the paper:
+//
+//   - AllTimely: every link is eventually timely (the strongest model, [14]).
+//   - TSource: an eventual t-source [2] — one correct process whose ALIVE
+//     messages reach a FIXED set Q of t processes within δ.
+//   - MovingSource: an eventual t-moving source [10] — like TSource but
+//     Q(rn) may change each round.
+//   - Pattern: the message-pattern assumption [16] — a fixed Q whose members
+//     always receive the center's round-rn message among the first n-t such
+//     messages ("winning"); no timing bound anywhere.
+//   - MovingPattern: the rotating generalization of Pattern (new in the
+//     paper).
+//   - Combined: the paper's A' — a rotating star where each point is,
+//     independently per round, either δ-timely or winning.
+//   - Intermittent: the paper's A — Combined, but the star only exists on a
+//     round subsequence S with gaps bounded by D; outside S an adversary
+//     actively delays the center's messages beyond every current timeout.
+//   - IntermittentFG: the §7 A_{f,g} model — star gaps grow as D + f(s_k)
+//     and timely delays grow as δ + g(rn).
+//
+// A Scenario bundles a delay policy, an optional order gate (for the
+// winning-message property, which constrains reception order rather than
+// time), and a crash schedule. Scenarios are deterministic given their seed.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Mode is the constraint the star schedule places on one message.
+type Mode int
+
+// Constraint modes for the center's round-tagged messages.
+const (
+	// ModeNone leaves the message to the base asynchronous delays.
+	ModeNone Mode = iota
+	// ModeTimely bounds the transfer delay by δ (+ g(rn) under FG).
+	ModeTimely
+	// ModeWinning guarantees the message is received among the first
+	// alpha-1 same-round messages of its receiver (order, not time).
+	ModeWinning
+	// ModeLose is the adversary: the message is delayed long enough to
+	// arrive after the receiver's round guard has fired (used outside
+	// the subsequence S to attack non-intermittent algorithms).
+	ModeLose
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeTimely:
+		return "timely"
+	case ModeWinning:
+		return "winning"
+	case ModeLose:
+		return "lose"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Crash schedules one process failure.
+type Crash struct {
+	ID proc.ID
+	At sim.Time
+}
+
+// TagFunc extracts the round tag from a payload, reporting ok=false for
+// untagged messages. Round-tagged kinds are ALIVE (core algorithms; tag is
+// the sending round), HEARTBEAT (timeout baselines; tag is the beacon
+// sequence) and RESPONSE (query-response baselines; tag is the query
+// sequence, scoped per receiver). wire.Mux envelopes are unwrapped.
+type TagFunc func(payload any) (tag int64, ok bool)
+
+// RoundTag is the default TagFunc covering all round-tagged message kinds.
+func RoundTag(payload any) (int64, bool) {
+	for {
+		switch m := payload.(type) {
+		case *wire.Mux:
+			payload = m.Inner
+		case *wire.Alive:
+			return m.RN, true
+		case *wire.Heartbeat:
+			return m.Seq, true
+		case *wire.Response:
+			return m.Seq, true
+		default:
+			return 0, false
+		}
+	}
+}
+
+// StarSchedule decides, per round and receiver, how the center's message is
+// constrained. Implementations must be deterministic.
+type StarSchedule interface {
+	// Center returns the star's center process p.
+	Center() proc.ID
+	// Mode returns the constraint on the center's round-rn message to q.
+	Mode(rn int64, q proc.ID) Mode
+}
+
+// Scenario is a fully assembled execution environment.
+type Scenario struct {
+	// Name identifies the assumption family (used in reports).
+	Name string
+	// Description is a one-line human-readable summary.
+	Description string
+	// Params echoes the parameters the scenario was built from.
+	Params Params
+	// Schedule is the star schedule (nil for AllTimely).
+	Schedule StarSchedule
+	// Policy is the delay policy to install in the network.
+	Policy netsim.DelayPolicy
+	// Gate is the order gate (nil unless winning modes are used).
+	Gate netsim.Gate
+	// Crashes is the crash schedule.
+	Crashes []Crash
+
+	star *starPolicy // retained to wire probes late
+	gate *winningGate
+}
+
+// SetTimeoutProbe installs the adversary's introspection hook: a function
+// returning the largest receiving-round timeout currently armed by any
+// correct process. ModeLose delays scale with it so that false suspicions of
+// the center continue forever no matter how far timeouts grow (the adversary
+// permitted by pure asynchrony). Without a probe, ModeLose falls back to a
+// large constant multiple of the base delay.
+func (s *Scenario) SetTimeoutProbe(probe func() time.Duration) {
+	if s.star != nil {
+		s.star.timeoutProbe = probe
+	}
+}
+
+// SetCrashedProbe lets the gate bypass ordering constraints involving a
+// crashed center (held messages are released; A2's case (1) applies).
+func (s *Scenario) SetCrashedProbe(crashed func(proc.ID) bool) {
+	if s.gate != nil {
+		s.gate.crashed = crashed
+	}
+}
+
+// GateStats returns how many messages the order gate held under the winning
+// constraint and under the lose constraint (0,0 when the scenario has no
+// gate). Useful to verify the adversary/assumption machinery actually
+// engaged during a run.
+func (s *Scenario) GateStats() (winning, lose uint64) {
+	if s.gate == nil {
+		return 0, 0
+	}
+	return s.gate.holdsWinning, s.gate.holdsLose
+}
+
+// SetLeaderProbe installs the adversary's observation of the system's
+// current leader estimate; the order/lose adversaries chase it (see the
+// policy docs for why chasing the leader, rather than rotating fairly, is
+// the canonical attack). A nil or absent probe disables the chase.
+func (s *Scenario) SetLeaderProbe(probe func() proc.ID) {
+	if s.star != nil {
+		s.star.leaderProbe = probe
+	}
+	if s.gate != nil {
+		s.gate.leaderProbe = probe
+	}
+	if at, ok := s.Policy.(*allTimelyPolicy); ok {
+		at.leaderProbe = probe
+	}
+}
+
+// SetRoundProbe installs the receiving-round probe (see the gate docs): a
+// function returning process q's current receiving round, or a negative
+// value when unknown. With a probe installed, lose constraints are enforced
+// exactly at the order level (held until the round passes) and the delay
+// policy reverts lose-targeted messages to ordinary asynchronous delays.
+func (s *Scenario) SetRoundProbe(probe func(q proc.ID) int64) {
+	if s.gate != nil {
+		s.gate.roundProbe = probe
+	}
+	if s.star != nil {
+		s.star.roundProbe = probe
+		s.star.loseViaGate = probe != nil
+	}
+}
+
+// Params configures scenario construction. Zero fields take defaults.
+type Params struct {
+	N, T int    // system size and resilience (required)
+	Seed uint64 // determinism seed
+
+	// Center is the star center; default 0. Experiments that crash the
+	// center must pick a correct one instead.
+	Center proc.ID
+
+	// Delta is δ, the (unknown to the algorithm) bound on timely
+	// messages. Default 2ms.
+	Delta time.Duration
+
+	// BaseLo/BaseHi bound ordinary asynchronous link delays; spikes
+	// occasionally stretch to SpikeHi with probability SpikeProb.
+	// Defaults: 1ms..8ms, 10% spikes up to 60ms.
+	BaseLo, BaseHi time.Duration
+	SpikeProb      float64
+	SpikeLo        time.Duration
+	SpikeHi        time.Duration
+
+	// StartRN is RN₀: rounds before it are unconstrained. Default 1.
+	StartRN int64
+
+	// D is the intermittent gap bound: the star exists on rounds
+	// StartRN, StartRN+D, StartRN+2D, ... Default 1 (every round).
+	D int64
+
+	// LoseOutsideS makes rounds outside S adversarial (ModeLose) rather
+	// than merely unconstrained. The Intermittent constructors set it.
+	LoseOutsideS bool
+
+	// F and G are the §7 growth functions (IntermittentFG only).
+	F func(k int64) int64
+	G func(rn int64) time.Duration
+
+	// Drift makes delay spikes grow without bound: a spiked message sent
+	// at virtual time τ is additionally delayed by Drift·(τ/1s). This is
+	// what "no bound on transfer delays" means operationally — with
+	// Drift = 0 every delay is bounded by SpikeHi and any adaptive
+	// timeout eventually calibrates, masking the differences between
+	// assumption families. Coverage experiments set it positive.
+	Drift time.Duration
+
+	// AdversarialOrder enables the order adversary: unconstrained
+	// messages become very fast ([Delta/20, Delta/10]) while δ-timely
+	// messages are pushed to the top of their budget ([0.8δ, δ]) and a
+	// per-round rotating victim's round-rn messages are delayed to the
+	// top of the legal budget. Being timely then no longer implies
+	// winning reception races, which separates the time-free algorithms
+	// from the timer-based ones exactly as the models predict (the two
+	// assumption styles are incomparable, §1.2).
+	AdversarialOrder bool
+
+	// RotateLoseVictims extends the ModeLose adversary to non-center
+	// processes: the round-rn victim (round-robin over the non-center
+	// processes) has its round-rn messages withheld past every round-rn
+	// guard. Without it, an algorithm lacking the window test (Figure 1)
+	// can still luck into a stable non-center leader because the
+	// unattacked processes look permanently well-behaved; a real
+	// asynchronous adversary owes them nothing. Victim rotation is
+	// per-round (not per-wall-time): receiving rounds slow down as
+	// timeouts grow, and a time-based rotation would eventually attack
+	// less than one round per epoch and quietly disarm itself. The
+	// Intermittent constructors set it.
+	RotateLoseVictims bool
+
+	// OutagePeriod/OutageBase enable deterministic per-link outages on
+	// unconstrained links: every OutagePeriod, each directed link goes
+	// dark for a window that starts at OutageBase and doubles every four
+	// periods (capped at OutagePeriod/2); messages sent during the
+	// window are delivered at its end. Outages are what "unbounded
+	// delays" means against freshness-based failure detectors: single
+	// slow messages never break heartbeat freshness (the next heartbeat
+	// refreshes it), only bursts do. 0 disables outages.
+	OutagePeriod time.Duration
+	OutageBase   time.Duration
+
+	// Alpha is the reception threshold used to size winning-order
+	// budgets; 0 means N-T.
+	Alpha int
+
+	// Crashes is the crash schedule to attach.
+	Crashes []Crash
+
+	// Tag overrides the round-tag extractor; nil means RoundTag.
+	Tag TagFunc
+}
+
+func (p Params) withDefaults() Params {
+	if p.Delta == 0 {
+		p.Delta = 2 * time.Millisecond
+	}
+	if p.BaseLo == 0 {
+		p.BaseLo = time.Millisecond
+	}
+	if p.BaseHi == 0 {
+		p.BaseHi = 8 * time.Millisecond
+	}
+	if p.SpikeProb == 0 {
+		p.SpikeProb = 0.1
+	}
+	if p.SpikeLo == 0 {
+		p.SpikeLo = 20 * time.Millisecond
+	}
+	if p.SpikeHi == 0 {
+		p.SpikeHi = 60 * time.Millisecond
+	}
+	if p.StartRN == 0 {
+		p.StartRN = 1
+	}
+	if p.D == 0 {
+		p.D = 1
+	}
+	if p.Alpha == 0 {
+		p.Alpha = p.N - p.T
+	}
+	if p.Tag == nil {
+		p.Tag = RoundTag
+	}
+	return p
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	if p.N < 2 {
+		return fmt.Errorf("scenario: N must be >= 2, got %d", p.N)
+	}
+	if p.T < 0 || p.T >= p.N {
+		return fmt.Errorf("scenario: T must be in [0,%d), got %d", p.N, p.T)
+	}
+	if p.Center < 0 || p.Center >= p.N {
+		return fmt.Errorf("scenario: center %d out of range", p.Center)
+	}
+	for _, c := range p.Crashes {
+		if c.ID < 0 || c.ID >= p.N {
+			return fmt.Errorf("scenario: crash of invalid process %d", c.ID)
+		}
+		if c.ID == p.Center {
+			return fmt.Errorf("scenario: the star center %d must be correct", c.ID)
+		}
+	}
+	if crashed := len(p.Crashes); crashed > p.T {
+		return fmt.Errorf("scenario: %d crashes exceed T=%d", crashed, p.T)
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+// Package sim implements a deterministic discrete-event simulator: a virtual
+// clock, an event queue with stable tie-breaking, cancellable timers, and a
+// seeded deterministic random number generator.
+//
+// The simulator is the substrate on which the paper's asynchronous system is
+// realized: processes, links, timers and assumption schedules are all driven
+// by events on a single virtual timeline. Two runs with the same seed and the
+// same configuration produce byte-identical traces, which the test suite
+// relies on.
+//
+// Time is virtual: a Time is a monotone int64 count of nanoseconds since the
+// start of the run, and durations use time.Duration so that configuration
+// reads naturally (10*time.Millisecond). Nothing ever sleeps on the wall
+// clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point on the virtual timeline, in nanoseconds since run start.
+type Time int64
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier time u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// String renders the time as a duration from run start, e.g. "1.5s".
+func (t Time) String() string { return time.Duration(t).String() }
+
+// EventID identifies a scheduled event; it can be used to cancel it.
+type EventID uint64
+
+// event is a scheduled callback.
+type event struct {
+	at       Time
+	seq      uint64 // schedule order; breaks ties deterministically
+	id       EventID
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler owns the virtual clock and the event queue. The zero value is not
+// usable; create one with NewScheduler.
+type Scheduler struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	nextID  EventID
+	live    map[EventID]*event
+	stopped bool
+
+	// Processed counts events executed since creation (for metrics and
+	// runaway-loop protection in tests).
+	Processed uint64
+}
+
+// NewScheduler returns an empty scheduler at time 0.
+func NewScheduler() *Scheduler {
+	return &Scheduler{live: make(map[EventID]*event)}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// At schedules fn to run at absolute time at. Scheduling in the past (or at
+// the current instant) runs the event at the current time but after all
+// events already scheduled for that time. Returns an id usable with Cancel.
+func (s *Scheduler) At(at Time, fn func()) EventID {
+	if fn == nil {
+		panic("sim: At called with nil function")
+	}
+	if at < s.now {
+		at = s.now
+	}
+	s.nextSeq++
+	s.nextID++
+	e := &event{at: at, seq: s.nextSeq, id: s.nextID, fn: fn}
+	heap.Push(&s.queue, e)
+	s.live[e.id] = e
+	return e.id
+}
+
+// After schedules fn to run d after the current time. Negative d is treated
+// as zero.
+func (s *Scheduler) After(d time.Duration, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Cancel prevents a scheduled event from running. Cancelling an event that
+// already ran (or was already cancelled) is a no-op and returns false.
+func (s *Scheduler) Cancel(id EventID) bool {
+	e, ok := s.live[id]
+	if !ok {
+		return false
+	}
+	delete(s.live, id)
+	e.canceled = true
+	e.fn = nil
+	return true
+}
+
+// Pending returns the number of not-yet-executed, not-cancelled events.
+func (s *Scheduler) Pending() int { return len(s.live) }
+
+// Stop makes Run return after the current event completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// step executes the earliest pending event. It reports false when the queue
+// is empty.
+func (s *Scheduler) step() bool {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.canceled {
+			continue
+		}
+		delete(s.live, e.id)
+		if e.at > s.now {
+			s.now = e.at
+		}
+		s.Processed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events in timestamp order until the queue is empty, the given
+// horizon is passed, or Stop is called. Events scheduled exactly at the
+// horizon still run; the clock never advances beyond the horizon. It returns
+// the number of events executed.
+func (s *Scheduler) Run(horizon Time) uint64 {
+	s.stopped = false
+	start := s.Processed
+	for !s.stopped {
+		if s.queue.Len() == 0 {
+			// Idle: the clock still advances to the horizon, so that
+			// RunFor(d) always moves virtual time forward by d.
+			if horizon > s.now {
+				s.now = horizon
+			}
+			break
+		}
+		// Peek: do not run events beyond the horizon.
+		next := s.queue[0]
+		if next.canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.at > horizon {
+			if horizon > s.now {
+				s.now = horizon
+			}
+			break
+		}
+		s.step()
+	}
+	return s.Processed - start
+}
+
+// RunFor runs for d of virtual time from the current instant.
+func (s *Scheduler) RunFor(d time.Duration) uint64 { return s.Run(s.now.Add(d)) }
+
+// RunAll executes events until none remain or maxEvents have been executed.
+// It returns an error when the event budget is exhausted, which in this
+// repository always indicates a scheduling livelock in a test.
+func (s *Scheduler) RunAll(maxEvents uint64) error {
+	s.stopped = false
+	var n uint64
+	for !s.stopped && s.step() {
+		n++
+		if n >= maxEvents {
+			return fmt.Errorf("sim: event budget %d exhausted at t=%v", maxEvents, s.now)
+		}
+	}
+	return nil
+}
