@@ -7,6 +7,10 @@
 //	go run ./cmd/experiments -quick     # smaller, faster configurations
 //
 // Experiment ids (see DESIGN.md §4): F1, F2, F3, F4, T5, C1, Q1, Q2, Q3, A1.
+//
+// Runs within an experiment are independent deterministic simulations, so
+// they fan out across a worker pool (-workers, default one per CPU); tables
+// are emitted in the same order regardless of worker count.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/par"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -26,9 +31,10 @@ func main() {
 	runID := flag.String("run", "", "experiment id to run (default: all)")
 	quick := flag.Bool("quick", false, "smaller configurations (for smoke runs)")
 	seed := flag.Uint64("seed", 42, "base random seed")
+	workers := flag.Int("workers", 0, "concurrent simulations per experiment (<=0: one per CPU)")
 	flag.Parse()
 
-	s := &suite{quick: *quick, seed: *seed}
+	s := &suite{quick: *quick, seed: *seed, workers: *workers}
 	experiments := []struct {
 		id   string
 		name string
@@ -68,8 +74,9 @@ func main() {
 }
 
 type suite struct {
-	quick bool
-	seed  uint64
+	quick   bool
+	seed    uint64
+	workers int
 }
 
 // dur scales experiment durations down in -quick mode.
@@ -78,6 +85,30 @@ func (s *suite) dur(d time.Duration) time.Duration {
 		return d / 4
 	}
 	return d
+}
+
+// fanOut executes run(i) for i in [0, n) on a worker pool and returns the
+// results in input order (each run is deterministic and self-contained, so
+// parallel execution cannot change any result). The first error wins.
+func fanOut[T any](n, workers int, run func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+	par.ForEach(n, workers, func(i int) {
+		results[i], errs[i] = run(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// runAll executes every harness config on the suite's worker pool.
+func (s *suite) runAll(cfgs []harness.Config) ([]*harness.Result, error) {
+	return fanOut(len(cfgs), s.workers, func(i int) (*harness.Result, error) {
+		return harness.Run(cfgs[i])
+	})
 }
 
 func verdict(ok bool) string {
@@ -92,44 +123,53 @@ func (s *suite) runF1() error {
 		scenario.FamilyTSource, scenario.FamilyMovingSource, scenario.FamilyPattern,
 		scenario.FamilyMovingPattern, scenario.FamilyCombined,
 	}
-	tb := stats.NewTable("family", "algorithm", "stabilized", "t_stab", "leader", "changes", "maxLevel", "B", "msgs", "events")
+	algos := []harness.Algorithm{harness.AlgoFig1, harness.AlgoFig2, harness.AlgoFig3}
+	var cfgs []harness.Config
 	for _, fam := range families {
-		for _, algo := range []harness.Algorithm{harness.AlgoFig1, harness.AlgoFig2, harness.AlgoFig3} {
-			res, err := harness.Run(harness.Config{
+		for _, algo := range algos {
+			cfgs = append(cfgs, harness.Config{
 				Family:   fam,
 				Params:   scenario.Params{N: 5, T: 2, Seed: s.seed},
 				Algo:     algo,
 				Duration: s.dur(20 * time.Second),
 			})
-			if err != nil {
-				return err
-			}
-			tb.AddRow(fam, algo, verdict(res.Report.Stabilized), res.StabilizationTime(),
-				res.Report.Leader, res.Report.Changes, res.MaxSuspLevel, res.BoundB,
-				res.NetStats.Sent, res.Events)
 		}
+	}
+	results, err := s.runAll(cfgs)
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("family", "algorithm", "stabilized", "t_stab", "leader", "changes", "maxLevel", "B", "msgs", "events")
+	for i, res := range results {
+		tb.AddRow(cfgs[i].Family, cfgs[i].Algo, verdict(res.Report.Stabilized), res.StabilizationTime(),
+			res.Report.Leader, res.Report.Changes, res.MaxSuspLevel, res.BoundB,
+			res.NetStats.Sent, res.Events)
 	}
 	fmt.Println(tb.Markdown())
 	return nil
 }
 
 func (s *suite) runF2() error {
-	tb := stats.NewTable("D", "algorithm", "stabilized", "timeouts stable", "converged", "changes", "maxLevel", "t_stab")
+	var cfgs []harness.Config
 	for _, d := range []int64{2, 4, 8, 16} {
 		for _, algo := range []harness.Algorithm{harness.AlgoFig1, harness.AlgoFig2, harness.AlgoFig3} {
-			res, err := harness.Run(harness.Config{
+			cfgs = append(cfgs, harness.Config{
 				Family:   scenario.FamilyIntermittent,
 				Params:   scenario.Params{N: 5, T: 2, Seed: s.seed, D: d},
 				Algo:     algo,
 				Duration: s.dur(120 * time.Second),
 			})
-			if err != nil {
-				return err
-			}
-			tb.AddRow(d, algo, verdict(res.Report.Stabilized), verdict(res.TimeoutsStable),
-				verdict(res.Report.Stabilized && res.TimeoutsStable),
-				res.Report.Changes, res.MaxSuspLevel, res.StabilizationTime())
 		}
+	}
+	results, err := s.runAll(cfgs)
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("D", "algorithm", "stabilized", "timeouts stable", "converged", "changes", "maxLevel", "t_stab")
+	for i, res := range results {
+		tb.AddRow(cfgs[i].Params.D, cfgs[i].Algo, verdict(res.Report.Stabilized), verdict(res.TimeoutsStable),
+			verdict(res.Report.Stabilized && res.TimeoutsStable),
+			res.Report.Changes, res.MaxSuspLevel, res.StabilizationTime())
 	}
 	fmt.Println(tb.Markdown())
 	fmt.Println("Expected shape: fig1 never converges (churn or growing timeouts);" +
@@ -143,18 +183,23 @@ func (s *suite) runF3() error {
 		N: 5, T: 2, Seed: s.seed, D: 3, Center: 1,
 		Crashes: []scenario.Crash{{ID: 3, At: sim.Time(3 * time.Second)}},
 	}
-	tb := stats.NewTable("algorithm", "stabilized", "maxLevel ever", "B", "maxLevel<=B+1", "Lemma8 violations", "timeouts stable", "final timeout")
+	var cfgs []harness.Config
 	for _, algo := range []harness.Algorithm{harness.AlgoFig2, harness.AlgoFig3} {
-		res, err := harness.Run(harness.Config{
+		cfgs = append(cfgs, harness.Config{
 			Family:      scenario.FamilyIntermittent,
 			Params:      params,
 			Algo:        algo,
 			Duration:    s.dur(120 * time.Second),
 			CheckSpread: algo == harness.AlgoFig3,
 		})
-		if err != nil {
-			return err
-		}
+	}
+	results, err := s.runAll(cfgs)
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("algorithm", "stabilized", "maxLevel ever", "B", "maxLevel<=B+1", "Lemma8 violations", "timeouts stable", "final timeout")
+	for i, res := range results {
+		algo := cfgs[i].Algo
 		spread := "n/a"
 		if algo == harness.AlgoFig3 {
 			spread = fmt.Sprintf("%d", res.SpreadViolations)
@@ -186,18 +231,22 @@ func (s *suite) runF4() error {
 		F: func(k int64) int64 { return k / 2 },
 		G: func(rn int64) time.Duration { return time.Duration(rn) * 20 * time.Microsecond },
 	}
-	tb := stats.NewTable("algorithm", "stabilized", "leader", "maxLevel", "changes")
+	var cfgs []harness.Config
 	for _, algo := range []harness.Algorithm{harness.AlgoFig3, harness.AlgoFG} {
-		res, err := harness.Run(harness.Config{
+		cfgs = append(cfgs, harness.Config{
 			Family:   scenario.FamilyIntermittentFG,
 			Params:   params,
 			Algo:     algo,
 			Duration: s.dur(120 * time.Second),
 		})
-		if err != nil {
-			return err
-		}
-		tb.AddRow(algo, verdict(res.Report.Stabilized), res.Report.Leader,
+	}
+	results, err := s.runAll(cfgs)
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("algorithm", "stabilized", "leader", "maxLevel", "changes")
+	for i, res := range results {
+		tb.AddRow(cfgs[i].Algo, verdict(res.Report.Stabilized), res.Report.Leader,
 			res.MaxSuspLevel, res.Report.Changes)
 	}
 	fmt.Println(tb.Markdown())
@@ -237,11 +286,14 @@ func (s *suite) runT5() error {
 			Duration:  s.dur(90 * time.Second),
 		}},
 	}
-	for _, c := range cases {
-		res, err := harness.RunConsensus(c.cfg)
-		if err != nil {
-			return err
-		}
+	results, err := fanOut(len(cases), s.workers, func(i int) (*harness.ConsensusResult, error) {
+		return harness.RunConsensus(cases[i].cfg)
+	})
+	if err != nil {
+		return err
+	}
+	for i, c := range cases {
+		res := results[i]
 		tb.AddRow(c.name, fmt.Sprintf("%d/%d", res.Decided, c.cfg.Instances),
 			verdict(res.Agreement), verdict(res.Validity), res.MeanLatency,
 			res.Ballots, res.NetStats.Sent)
@@ -254,7 +306,7 @@ func (s *suite) runT5() error {
 }
 
 func (s *suite) runC1() error {
-	spec := harness.GridSpec{N: 5, T: 2, Seed: s.seed, Duration: s.dur(120 * time.Second)}
+	spec := harness.GridSpec{N: 5, T: 2, Seed: s.seed, Duration: s.dur(120 * time.Second), Workers: s.workers}
 	cells := harness.RunGrid(spec)
 	// Pivot: one row per family, one column per algorithm.
 	byFam := map[scenario.Family]map[harness.Algorithm]harness.GridCell{}
@@ -296,24 +348,28 @@ func (s *suite) runC1() error {
 }
 
 func (s *suite) runQ1() error {
-	tb := stats.NewTable("D", "t_stab", "maxLevel", "B", "final timeout", "rounds")
+	var cfgs []harness.Config
 	for _, d := range []int64{1, 2, 4, 8, 16} {
-		res, err := harness.Run(harness.Config{
+		cfgs = append(cfgs, harness.Config{
 			Family:   scenario.FamilyIntermittent,
 			Params:   scenario.Params{N: 5, T: 2, Seed: s.seed, D: d},
 			Algo:     harness.AlgoFig3,
 			Duration: s.dur(120 * time.Second),
 		})
-		if err != nil {
-			return err
-		}
+	}
+	results, err := s.runAll(cfgs)
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("D", "t_stab", "maxLevel", "B", "final timeout", "rounds")
+	for i, res := range results {
 		var maxTO time.Duration
 		for _, to := range res.FinalTimeouts {
 			if to > maxTO {
 				maxTO = to
 			}
 		}
-		tb.AddRow(d, res.StabilizationTime(), res.MaxSuspLevel, res.BoundB, maxTO, res.RoundsDone)
+		tb.AddRow(cfgs[i].Params.D, res.StabilizationTime(), res.MaxSuspLevel, res.BoundB, maxTO, res.RoundsDone)
 	}
 	fmt.Println(tb.Markdown())
 	fmt.Println("Expected shape: the level bound B (and hence the calibrated timeout)" +
@@ -323,23 +379,27 @@ func (s *suite) runQ1() error {
 }
 
 func (s *suite) runQ2() error {
-	tb := stats.NewTable("n", "t", "t_stab", "msgs total", "msgs/round/proc", "bytes", "events")
+	var cfgs []harness.Config
 	for _, n := range []int{3, 5, 7, 9, 13} {
-		t := (n - 1) / 2
-		res, err := harness.Run(harness.Config{
+		cfgs = append(cfgs, harness.Config{
 			Family:   scenario.FamilyCombined,
-			Params:   scenario.Params{N: n, T: t, Seed: s.seed},
+			Params:   scenario.Params{N: n, T: (n - 1) / 2, Seed: s.seed},
 			Algo:     harness.AlgoFig3,
 			Duration: s.dur(20 * time.Second),
 		})
-		if err != nil {
-			return err
-		}
+	}
+	results, err := s.runAll(cfgs)
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("n", "t", "t_stab", "msgs total", "msgs/round/proc", "bytes", "events")
+	for i, res := range results {
+		n := cfgs[i].Params.N
 		perRound := "n/a"
 		if res.RoundsDone > 0 {
 			perRound = fmt.Sprintf("%.1f", float64(res.NetStats.Sent)/float64(res.RoundsDone)/float64(n))
 		}
-		tb.AddRow(n, t, res.StabilizationTime(), res.NetStats.Sent, perRound,
+		tb.AddRow(n, cfgs[i].Params.T, res.StabilizationTime(), res.NetStats.Sent, perRound,
 			res.NetStats.Bytes, res.Events)
 	}
 	fmt.Println(tb.Markdown())
@@ -350,34 +410,38 @@ func (s *suite) runQ2() error {
 }
 
 func (s *suite) runQ3() error {
-	tb := stats.NewTable("timeout unit", "B", "maxLevel", "final timeout", "t_stab")
+	// §6's structural claim, measured: the suspicion-level bound B is set
+	// by the assumption's shape (the gap D forces the window to absorb ~D
+	// rounds), NOT by the timer unit, so the stabilized timeout is simply
+	// ~B x unit. Level counts are the only "clock" the algorithm keeps;
+	// scaling the unit rescales time without changing the
+	// bounded-variable structure.
+	var cfgs []harness.Config
 	for _, unit := range []time.Duration{
 		200 * time.Microsecond, time.Millisecond,
 		5 * time.Millisecond, 20 * time.Millisecond,
 	} {
-		// §6's structural claim, measured: the suspicion-level bound B
-		// is set by the assumption's shape (the gap D forces the
-		// window to absorb ~D rounds), NOT by the timer unit, so the
-		// stabilized timeout is simply ~B x unit. Level counts are the
-		// only "clock" the algorithm keeps; scaling the unit rescales
-		// time without changing the bounded-variable structure.
-		res, err := harness.Run(harness.Config{
+		cfgs = append(cfgs, harness.Config{
 			Family:      scenario.FamilyIntermittent,
 			Params:      scenario.Params{N: 5, T: 2, Seed: s.seed, D: 3},
 			Algo:        harness.AlgoFig3,
 			TimeoutUnit: unit,
 			Duration:    s.dur(60 * time.Second),
 		})
-		if err != nil {
-			return err
-		}
+	}
+	results, err := s.runAll(cfgs)
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("timeout unit", "B", "maxLevel", "final timeout", "t_stab")
+	for i, res := range results {
 		var maxTO time.Duration
 		for _, to := range res.FinalTimeouts {
 			if to > maxTO {
 				maxTO = to
 			}
 		}
-		tb.AddRow(unit.String(), res.BoundB, res.MaxSuspLevel, maxTO, res.StabilizationTime())
+		tb.AddRow(cfgs[i].TimeoutUnit.String(), res.BoundB, res.MaxSuspLevel, maxTO, res.StabilizationTime())
 	}
 	fmt.Println(tb.Markdown())
 	fmt.Println("Expected shape: B stays at the structure-determined value (compare Q1's" +
@@ -392,49 +456,40 @@ func (s *suite) runA1() error {
 		N: 5, T: 2, Seed: s.seed, D: 3, Center: 1,
 		Crashes: []scenario.Crash{{ID: 3, At: sim.Time(3 * time.Second)}},
 	}
-	tb := stats.NewTable("configuration", "stabilized", "timeouts stable", "maxLevel", "notes")
-	// Ablation 1: no window test, no min test (fig1).
-	res1, err := harness.Run(harness.Config{
-		Family: scenario.FamilyIntermittent, Params: params,
-		Algo: harness.AlgoFig1, Duration: s.dur(120 * time.Second),
-	})
-	if err != nil {
-		return err
-	}
-	tb.AddRow("fig1 (no *, no **)", verdict(res1.Report.Stabilized), verdict(res1.TimeoutsStable),
-		res1.MaxSuspLevel, "window test removed: diverges under intermittence")
-	// Ablation 2: window test only (fig2).
-	res2, err := harness.Run(harness.Config{
-		Family: scenario.FamilyIntermittent, Params: params,
-		Algo: harness.AlgoFig2, Duration: s.dur(120 * time.Second),
-	})
-	if err != nil {
-		return err
-	}
-	tb.AddRow("fig2 (*, no **)", verdict(res2.Report.Stabilized), verdict(res2.TimeoutsStable),
-		res2.MaxSuspLevel, "min test removed: unbounded levels after a crash")
-	// Full algorithm.
-	res3, err := harness.Run(harness.Config{
-		Family: scenario.FamilyIntermittent, Params: params,
-		Algo: harness.AlgoFig3, Duration: s.dur(120 * time.Second),
-	})
-	if err != nil {
-		return err
-	}
-	tb.AddRow("fig3 (* and **)", verdict(res3.Report.Stabilized), verdict(res3.TimeoutsStable),
-		res3.MaxSuspLevel, "full algorithm: bounded and stable")
-	// Ablation 3: a stricter reception threshold alpha (footnote 5).
+	// Ablation 3 uses a stricter reception threshold alpha (footnote 5):
+	// n - actual crashes, a valid lower bound here.
 	paramsAlpha := params
-	paramsAlpha.Alpha = 4 // n - actual crashes; valid lower bound here
-	res4, err := harness.Run(harness.Config{
-		Family: scenario.FamilyIntermittent, Params: paramsAlpha,
-		Algo: harness.AlgoFig3, Duration: s.dur(120 * time.Second),
-	})
+	paramsAlpha.Alpha = 4
+	rows := []struct {
+		label, notes string
+		cfg          harness.Config
+	}{
+		{"fig1 (no *, no **)", "window test removed: diverges under intermittence",
+			harness.Config{Family: scenario.FamilyIntermittent, Params: params,
+				Algo: harness.AlgoFig1, Duration: s.dur(120 * time.Second)}},
+		{"fig2 (*, no **)", "min test removed: unbounded levels after a crash",
+			harness.Config{Family: scenario.FamilyIntermittent, Params: params,
+				Algo: harness.AlgoFig2, Duration: s.dur(120 * time.Second)}},
+		{"fig3 (* and **)", "full algorithm: bounded and stable",
+			harness.Config{Family: scenario.FamilyIntermittent, Params: params,
+				Algo: harness.AlgoFig3, Duration: s.dur(120 * time.Second)}},
+		{"fig3, alpha=4 (=n-f)", "footnote 5: any lower bound on #correct works",
+			harness.Config{Family: scenario.FamilyIntermittent, Params: paramsAlpha,
+				Algo: harness.AlgoFig3, Duration: s.dur(120 * time.Second)}},
+	}
+	cfgs := make([]harness.Config, len(rows))
+	for i := range rows {
+		cfgs[i] = rows[i].cfg
+	}
+	results, err := s.runAll(cfgs)
 	if err != nil {
 		return err
 	}
-	tb.AddRow("fig3, alpha=4 (=n-f)", verdict(res4.Report.Stabilized), verdict(res4.TimeoutsStable),
-		res4.MaxSuspLevel, "footnote 5: any lower bound on #correct works")
+	tb := stats.NewTable("configuration", "stabilized", "timeouts stable", "maxLevel", "notes")
+	for i, res := range results {
+		tb.AddRow(rows[i].label, verdict(res.Report.Stabilized), verdict(res.TimeoutsStable),
+			res.MaxSuspLevel, rows[i].notes)
+	}
 	fmt.Println(tb.Markdown())
 	return nil
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/proc"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // crashList implements flag.Value for repeated -crash id@time flags.
@@ -106,8 +107,10 @@ func main() {
 	fmt.Printf("churn      %d leadership changes over %d samples\n", res.Report.Changes, res.Report.Samples)
 	fmt.Printf("messages   %d sent (%d bytes), %d delivered, %d to crashed processes\n",
 		res.NetStats.Sent, res.NetStats.Bytes, res.NetStats.Delivered, res.NetStats.Dropped)
-	for kind, count := range res.NetStats.ByKind {
-		fmt.Printf("           %-10s %8d (%d bytes)\n", kind.String(), count, res.NetStats.BytesKind[kind])
+	for kind := wire.Kind(1); kind < wire.KindCount; kind++ {
+		if count := res.NetStats.ByKind[kind]; count > 0 {
+			fmt.Printf("           %-10s %8d (%d bytes)\n", kind.String(), count, res.NetStats.BytesKind[kind])
+		}
 	}
 	fmt.Printf("events     %d simulator events\n", res.Events)
 	if res.RoundsDone > 0 {

@@ -10,4 +10,26 @@
 // are in DESIGN.md; measured results are in EXPERIMENTS.md. The benchmarks
 // in this package (bench_test.go) regenerate a short version of every
 // experiment; the full tables come from cmd/experiments.
+//
+// # Performance architecture
+//
+// Every experiment is bottlenecked by the simulation loop, so the hot path
+// is engineered for a near-zero-allocation steady state and the experiment
+// drivers for full-machine parallelism:
+//
+//   - internal/sim schedules events in a value-typed arena with a free list
+//     and an index-based min-heap; EventIDs carry generation tags so Cancel
+//     is O(1) with no map. Hot callers schedule typed events (sim.Handler)
+//     instead of closures. See the internal/sim package comment for the
+//     design and the determinism guarantees it preserves.
+//   - internal/netsim recycles message envelopes through a per-network free
+//     list, buffers pre-start deliveries per process (flushed at Start),
+//     and counts per-kind traffic in fixed arrays indexed by wire.Kind.
+//   - internal/harness.RunGrid and cmd/experiments fan independent runs out
+//     across a worker pool (internal/par); every run owns its scheduler and
+//     seeds, so results are byte-identical for every worker count.
+//
+// scripts/bench.sh records the benchmark suite (ns/op, allocs/op, domain
+// metrics such as virtual events per second) into BENCH_<n>.json files, one
+// per PR, forming the repository's performance trajectory.
 package repro

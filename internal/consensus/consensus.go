@@ -101,7 +101,12 @@ type Node struct {
 	cfg Config
 	env proc.Env
 
-	instances  map[int64]*instance
+	instances map[int64]*instance
+	// order lists instance ids in creation order. The retry loop iterates
+	// it instead of the map: map iteration order is randomized per run,
+	// which would make ballot launch order — and hence the whole message
+	// schedule — nondeterministic under identical seeds.
+	order      []int64
 	maxCounter int64 // highest ballot counter seen anywhere (for escalation)
 	crashed    bool
 
@@ -162,6 +167,7 @@ func (n *Node) inst(i int64) *instance {
 	if st == nil {
 		st = &instance{}
 		n.instances[i] = st
+		n.order = append(n.order, i)
 	}
 	return st
 }
@@ -175,7 +181,8 @@ func (n *Node) OnTimer(key proc.TimerKey) {
 	if key != timerRetry {
 		panic(fmt.Sprintf("consensus: unknown timer %d", key))
 	}
-	for inst, st := range n.instances {
+	for _, inst := range n.order {
+		st := n.instances[inst]
 		if st.hasProposal && !st.decided {
 			// Restarting from scratch each period is safe (ballots
 			// only grow) and guarantees progress once Ω stabilizes.

@@ -50,4 +50,15 @@
 //   - suspicions/rec_from rows are unbounded in the paper; Config.Retention
 //     optionally prunes rows far behind the newest round to run very long
 //     simulations in bounded memory (0 disables pruning, the default).
+//
+// # Execution substrate
+//
+// On the simulator, every Node callback (Start, OnMessage, OnTimer) runs as
+// a typed event on internal/sim's allocation-free arena scheduler, and every
+// message rides a pooled internal/netsim envelope that is recycled the
+// moment delivery completes. Nodes never see envelopes — only payloads — so
+// the only contract this imposes here is the existing one: messages are
+// immutable once sent and passed by pointer without copying (see
+// internal/wire). Determinism is unchanged: callback order remains a pure
+// function of (virtual time, schedule order) and the run's seed.
 package core

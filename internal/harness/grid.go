@@ -3,6 +3,7 @@ package harness
 import (
 	"time"
 
+	"repro/internal/par"
 	"repro/internal/scenario"
 )
 
@@ -20,6 +21,11 @@ type GridSpec struct {
 	// Families and Algos default to all.
 	Families []scenario.Family
 	Algos    []Algorithm
+	// Workers bounds the number of cells simulated concurrently; <= 0
+	// means one per CPU. Each cell owns its scheduler and random streams
+	// and is seeded independently of the others, so the results are
+	// byte-identical for every worker count.
+	Workers int
 }
 
 // GridCell is one grid outcome.
@@ -46,8 +52,9 @@ func (c GridCell) Converged() bool {
 	return c.Err == nil && c.Result.Report.Stabilized && c.Result.TimeoutsStable
 }
 
-// RunGrid executes the full grid, returning cells in (family-major,
-// algorithm-minor) order.
+// RunGrid executes the full grid, fanning cells out across spec.Workers
+// goroutines, and returns cells in (family-major, algorithm-minor) order —
+// the same order, with the same per-cell results, for every worker count.
 func RunGrid(spec GridSpec) []GridCell {
 	if spec.D == 0 {
 		spec.D = 3
@@ -61,13 +68,13 @@ func RunGrid(spec GridSpec) []GridCell {
 	if spec.Algos == nil {
 		spec.Algos = Algorithms()
 	}
-	var cells []GridCell
-	for _, fam := range spec.Families {
-		for _, algo := range spec.Algos {
-			res, err := Run(GridCellConfig(spec, fam, algo))
-			cells = append(cells, GridCell{Family: fam, Algo: algo, Result: res, Err: err})
-		}
-	}
+	cells := make([]GridCell, len(spec.Families)*len(spec.Algos))
+	par.ForEach(len(cells), spec.Workers, func(i int) {
+		fam := spec.Families[i/len(spec.Algos)]
+		algo := spec.Algos[i%len(spec.Algos)]
+		res, err := Run(GridCellConfig(spec, fam, algo))
+		cells[i] = GridCell{Family: fam, Algo: algo, Result: res, Err: err}
+	})
 	return cells
 }
 

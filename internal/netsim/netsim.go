@@ -17,6 +17,23 @@
 //
 // All activity runs on a deterministic sim.Scheduler, so any run is
 // reproducible from its seed.
+//
+// # Hot-path design
+//
+// The send/arrive/deliver path is allocation-free in steady state:
+//
+//   - The network schedules typed events (deliver, timer, start, crash) via
+//     sim.Scheduler.AtTyped instead of per-event closures; Network itself is
+//     the sim.Handler that demultiplexes them.
+//   - Envelopes are recycled through a per-network free list: an envelope
+//     returns to the pool once its delivery (or drop) is complete. Observers
+//     (OnDeliver, gates, delay policies) must therefore not retain an
+//     *Envelope past the callback unless they hold it under the Gate
+//     contract; copy the fields instead.
+//   - A message arriving before its receiver's (staggered) start is buffered
+//     per process in arrival order and flushed synchronously when the
+//     process starts — reliable-link semantics without redelivery polling.
+//   - Per-kind counters are fixed arrays indexed by wire.Kind, not maps.
 package netsim
 
 import (
@@ -76,31 +93,60 @@ type Gate interface {
 	OnDelivered(ev *Envelope, now sim.Time) []*Envelope
 }
 
-// Stats aggregates network-level counters.
+// Stats aggregates network-level counters. The per-kind counters are fixed
+// arrays indexed by wire.Kind, so Stats is comparable and snapshotting it is
+// a plain value copy.
 type Stats struct {
 	Sent      uint64 // messages handed to the network
 	Delivered uint64 // messages delivered to live processes
 	Dropped   uint64 // messages addressed to crashed processes
 	Bytes     uint64 // encoded size of all sent wire messages
-	ByKind    map[wire.Kind]uint64
-	BytesKind map[wire.Kind]uint64
+	ByKind    [wire.KindCount]uint64
+	BytesKind [wire.KindCount]uint64
+}
+
+// Typed event kinds demultiplexed by Network.OnSimEvent.
+const (
+	evDeliver uint8 = iota + 1 // p = *Envelope
+	evTimer                    // a = packTimer(process, key)
+	evStart                    // a = process id
+	evCrash                    // a = process id
+)
+
+func packTimer(id proc.ID, key proc.TimerKey) uint64 {
+	if int(int32(key)) != int(key) {
+		panic(fmt.Sprintf("netsim: timer key %d overflows the packed event payload", key))
+	}
+	return uint64(uint32(id))<<32 | uint64(uint32(int32(key)))
+}
+
+func unpackTimer(a uint64) (proc.ID, proc.TimerKey) {
+	return proc.ID(uint32(a >> 32)), proc.TimerKey(int32(uint32(a)))
 }
 
 // Network simulates the complete system: processes plus links.
 type Network struct {
-	sched   *sim.Scheduler
-	rand    *sim.Rand
-	policy  DelayPolicy
-	gate    Gate
-	nodes   []proc.Node
-	envs    []*env
-	crashed []bool
-	started []bool
-	nextSeq uint64
-	stats   Stats
+	sched    *sim.Scheduler
+	rand     *sim.Rand
+	policy   DelayPolicy
+	gate     Gate
+	nodes    []proc.Node
+	envs     []*env
+	crashed  []bool
+	started  []bool
+	preStart [][]*Envelope // messages arrived before the receiver started
+	nextSeq  uint64
+	stats    Stats
+
+	// envFree is the envelope free list; chainBuf is the reusable BFS
+	// queue of deliverChain. Both exist to keep the delivery hot path
+	// allocation-free in steady state.
+	envFree  []*Envelope
+	chainBuf []*Envelope
 
 	// OnDeliver, when non-nil, observes every successful delivery (after
-	// the node processed it). Used by checkers and tracing.
+	// the node processed it). The envelope is recycled when the callback
+	// returns; copy fields, do not retain the pointer.
 	OnDeliver func(ev *Envelope)
 	// OnCrashHook, when non-nil, observes crashes.
 	OnCrashHook func(id proc.ID, at sim.Time)
@@ -124,17 +170,16 @@ func New(sched *sim.Scheduler, cfg Config) (*Network, error) {
 		return nil, fmt.Errorf("netsim: Config.Policy is required")
 	}
 	n := &Network{
-		sched:   sched,
-		rand:    sim.NewRand(cfg.Seed ^ 0x6e657473696d2121),
-		policy:  cfg.Policy,
-		gate:    cfg.Gate,
-		nodes:   make([]proc.Node, cfg.N),
-		envs:    make([]*env, cfg.N),
-		crashed: make([]bool, cfg.N),
-		started: make([]bool, cfg.N),
+		sched:    sched,
+		rand:     sim.NewRand(cfg.Seed ^ 0x6e657473696d2121),
+		policy:   cfg.Policy,
+		gate:     cfg.Gate,
+		nodes:    make([]proc.Node, cfg.N),
+		envs:     make([]*env, cfg.N),
+		crashed:  make([]bool, cfg.N),
+		started:  make([]bool, cfg.N),
+		preStart: make([][]*Envelope, cfg.N),
 	}
-	n.stats.ByKind = make(map[wire.Kind]uint64)
-	n.stats.BytesKind = make(map[wire.Kind]uint64)
 	for i := 0; i < cfg.N; i++ {
 		n.envs[i] = &env{net: n, id: i, timers: make(map[proc.TimerKey]sim.EventID)}
 	}
@@ -148,17 +193,22 @@ func (n *Network) N() int { return len(n.nodes) }
 func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
 
 // Stats returns a snapshot of the network counters.
-func (n *Network) Stats() Stats {
-	s := n.stats
-	s.ByKind = make(map[wire.Kind]uint64, len(n.stats.ByKind))
-	for k, v := range n.stats.ByKind {
-		s.ByKind[k] = v
+func (n *Network) Stats() Stats { return n.stats }
+
+// getEnvelope pops a recycled envelope or allocates a fresh one.
+func (n *Network) getEnvelope() *Envelope {
+	if k := len(n.envFree); k > 0 {
+		ev := n.envFree[k-1]
+		n.envFree = n.envFree[:k-1]
+		return ev
 	}
-	s.BytesKind = make(map[wire.Kind]uint64, len(n.stats.BytesKind))
-	for k, v := range n.stats.BytesKind {
-		s.BytesKind[k] = v
-	}
-	return s
+	return &Envelope{}
+}
+
+// putEnvelope returns a fully-delivered (or dropped) envelope to the pool.
+func (n *Network) putEnvelope(ev *Envelope) {
+	*ev = Envelope{}
+	n.envFree = append(n.envFree, ev)
 }
 
 // Register installs node as process id. Must be called before the node is
@@ -178,13 +228,7 @@ func (n *Network) StartAt(id proc.ID, at sim.Time) {
 	if n.nodes[id] == nil {
 		panic(fmt.Sprintf("netsim: starting unregistered process %d", id))
 	}
-	n.sched.At(at, func() {
-		if n.crashed[id] || n.started[id] {
-			return
-		}
-		n.started[id] = true
-		n.nodes[id].Start(n.envs[id])
-	})
+	n.sched.AtTyped(at, n, evStart, uint64(uint32(id)), nil)
 }
 
 // StartAll starts every registered process at time 0.
@@ -194,11 +238,31 @@ func (n *Network) StartAll() {
 	}
 }
 
+// startNow runs a process's Start callback and flushes, in arrival order,
+// any messages that reached it before it started.
+func (n *Network) startNow(id proc.ID) {
+	if n.crashed[id] || n.started[id] {
+		return
+	}
+	n.started[id] = true
+	n.nodes[id].Start(n.envs[id])
+	buf := n.preStart[id]
+	n.preStart[id] = nil
+	for _, ev := range buf {
+		n.stats.Delivered++
+		n.nodes[id].OnMessage(ev.From, ev.Payload)
+		if n.OnDeliver != nil {
+			n.OnDeliver(ev)
+		}
+		n.putEnvelope(ev)
+	}
+}
+
 // CrashAt schedules process id to crash at virtual time at. Crashing is
 // idempotent. Messages already in flight to other processes are still
 // delivered (they left the sender before the crash).
 func (n *Network) CrashAt(id proc.ID, at sim.Time) {
-	n.sched.At(at, func() { n.crashNow(id) })
+	n.sched.AtTyped(at, n, evCrash, uint64(uint32(id)), nil)
 }
 
 func (n *Network) crashNow(id proc.ID) {
@@ -211,6 +275,12 @@ func (n *Network) crashNow(id proc.ID) {
 		n.sched.Cancel(ev)
 		delete(n.envs[id].timers, key)
 	}
+	// Messages buffered for a start that will never happen are drops.
+	for _, ev := range n.preStart[id] {
+		n.stats.Dropped++
+		n.putEnvelope(ev)
+	}
+	n.preStart[id] = nil
 	if c, ok := n.nodes[id].(proc.Crashable); ok && n.started[id] {
 		c.OnCrash()
 	}
@@ -236,6 +306,29 @@ func (n *Network) Correct() []proc.ID {
 // Node returns the node registered as process id.
 func (n *Network) Node(id proc.ID) proc.Node { return n.nodes[id] }
 
+// OnSimEvent implements sim.Handler: it demultiplexes the network's typed
+// scheduler events (message arrival, timer expiry, process start, crash).
+func (n *Network) OnSimEvent(kind uint8, a uint64, p any) {
+	switch kind {
+	case evDeliver:
+		n.arrive(p.(*Envelope))
+	case evTimer:
+		id, key := unpackTimer(a)
+		e := n.envs[id]
+		delete(e.timers, key)
+		if n.crashed[id] {
+			return
+		}
+		n.nodes[id].OnTimer(key)
+	case evStart:
+		n.startNow(proc.ID(uint32(a)))
+	case evCrash:
+		n.crashNow(proc.ID(uint32(a)))
+	default:
+		panic(fmt.Sprintf("netsim: unknown event kind %d", kind))
+	}
+}
+
 // send is called by a process env.
 func (n *Network) send(from, to proc.ID, msg any) {
 	if n.crashed[from] {
@@ -245,24 +338,27 @@ func (n *Network) send(from, to proc.ID, msg any) {
 		panic(fmt.Sprintf("netsim: send to invalid process %d", to))
 	}
 	n.nextSeq++
-	ev := &Envelope{
-		Seq:     n.nextSeq,
-		From:    from,
-		To:      to,
-		Payload: msg,
-		SentAt:  n.sched.Now(),
-	}
+	ev := n.getEnvelope()
+	ev.Seq = n.nextSeq
+	ev.From = from
+	ev.To = to
+	ev.Payload = msg
+	ev.SentAt = n.sched.Now()
 	n.stats.Sent++
 	if wm, ok := msg.(wire.Message); ok {
-		n.stats.ByKind[wm.Kind()]++
-		n.stats.Bytes += uint64(wm.Size())
-		n.stats.BytesKind[wm.Kind()] += uint64(wm.Size())
+		// A kind >= wire.KindCount panics here: better a loud index error
+		// than per-kind tables that silently stop summing to the totals.
+		k := wm.Kind()
+		sz := uint64(wm.Size())
+		n.stats.Bytes += sz
+		n.stats.ByKind[k]++
+		n.stats.BytesKind[k] += sz
 	}
 	d := n.policy.Delay(ev, n.rand)
 	if d < 0 {
 		d = 0
 	}
-	n.sched.After(d, func() { n.arrive(ev) })
+	n.sched.AfterTyped(d, n, evDeliver, 0, ev)
 }
 
 // arrive runs when an envelope's transfer delay has elapsed.
@@ -274,42 +370,56 @@ func (n *Network) arrive(ev *Envelope) {
 }
 
 // deliverChain delivers ev and then any envelopes the gate releases,
-// breadth-first, all at the current instant.
+// breadth-first, all at the current instant. Consumed envelopes (delivered
+// or dropped, as opposed to buffered pre-start) are recycled.
 func (n *Network) deliverChain(first *Envelope) {
-	queue := []*Envelope{first}
-	for len(queue) > 0 {
-		ev := queue[0]
-		queue = queue[1:]
-		n.deliverOne(ev)
-		if n.gate != nil {
-			released := n.gate.OnDelivered(ev, n.sched.Now())
-			for _, rel := range released {
-				rel.Released = true
-			}
-			queue = append(queue, released...)
+	if n.gate == nil {
+		if n.deliverOne(first) {
+			n.putEnvelope(first)
+		}
+		return
+	}
+	// deliverChain never runs nested (node callbacks only schedule future
+	// events), so the queue buffer is safely reused across calls.
+	q := append(n.chainBuf[:0], first)
+	for head := 0; head < len(q); head++ {
+		ev := q[head]
+		consumed := n.deliverOne(ev)
+		released := n.gate.OnDelivered(ev, n.sched.Now())
+		for _, rel := range released {
+			rel.Released = true
+		}
+		q = append(q, released...)
+		if consumed {
+			n.putEnvelope(ev)
 		}
 	}
+	n.chainBuf = q[:0]
 }
 
-func (n *Network) deliverOne(ev *Envelope) {
+// deliverOne hands ev to its receiver. It reports whether the envelope was
+// consumed — delivered to a live started process, or dropped at a crashed
+// one — as opposed to buffered for a not-yet-started receiver, in which case
+// the pre-start buffer owns it until the start flush.
+func (n *Network) deliverOne(ev *Envelope) bool {
 	if n.crashed[ev.To] {
 		n.stats.Dropped++
-		return
+		return true
 	}
-	n.stats.Delivered++
 	if !n.started[ev.To] {
 		// The model starts all processes "at the beginning"; a message
-		// arriving before the (staggered) start is buffered by
-		// redelivery shortly after. This keeps reliable-link semantics
-		// with staggered starts.
-		n.sched.After(time.Millisecond, func() { n.deliverOne(ev) })
-		n.stats.Delivered--
-		return
+		// arriving before the (staggered) start is buffered in arrival
+		// order and flushed when the process starts. This keeps
+		// reliable-link semantics with staggered starts.
+		n.preStart[ev.To] = append(n.preStart[ev.To], ev)
+		return false
 	}
+	n.stats.Delivered++
 	n.nodes[ev.To].OnMessage(ev.From, ev.Payload)
 	if n.OnDeliver != nil {
 		n.OnDeliver(ev)
 	}
+	return true
 }
 
 // env implements proc.Env for one simulated process.
@@ -333,13 +443,7 @@ func (e *env) SetTimer(key proc.TimerKey, d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	e.timers[key] = e.net.sched.After(d, func() {
-		delete(e.timers, key)
-		if e.net.crashed[e.id] {
-			return
-		}
-		e.net.nodes[e.id].OnTimer(key)
-	})
+	e.timers[key] = e.net.sched.AfterTyped(d, e.net, evTimer, packTimer(e.id, key), nil)
 }
 
 func (e *env) StopTimer(key proc.TimerKey) {
@@ -349,4 +453,7 @@ func (e *env) StopTimer(key proc.TimerKey) {
 	}
 }
 
-var _ proc.Env = (*env)(nil)
+var (
+	_ proc.Env    = (*env)(nil)
+	_ sim.Handler = (*Network)(nil)
+)

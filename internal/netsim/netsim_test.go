@@ -310,13 +310,103 @@ func TestDeterministicDeliveryOrder(t *testing.T) {
 
 func TestOnDeliverHook(t *testing.T) {
 	net, nodes, sched := newTestNet(t, 2, constDelay(0), nil)
-	var seen []*Envelope
-	net.OnDeliver = func(ev *Envelope) { seen = append(seen, ev) }
+	// Envelopes are recycled after delivery; observers copy, not retain.
+	var seen []Envelope
+	net.OnDeliver = func(ev *Envelope) { seen = append(seen, *ev) }
 	sched.RunFor(time.Millisecond)
 	nodes[0].env.Send(1, &wire.Heartbeat{Seq: 1})
 	sched.RunFor(time.Second)
 	if len(seen) != 1 || seen[0].From != 0 || seen[0].To != 1 {
 		t.Fatalf("hook saw %v", seen)
+	}
+}
+
+func TestPreStartBufferOrderAndCounters(t *testing.T) {
+	// Messages arriving before a late starter must be flushed at its start
+	// time, in arrival order, with each counted Delivered exactly once.
+	sched := sim.NewScheduler()
+	// Per-envelope delay: earlier sends get longer delays, so arrival
+	// order (by Seq) is the reverse of send order.
+	net, err := New(sched, Config{N: 2, Seed: 1, Policy: DelayFunc(
+		func(ev *Envelope, _ *sim.Rand) time.Duration {
+			return 10*time.Millisecond - time.Duration(ev.Seq)*time.Millisecond
+		})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := &echoNode{}, &echoNode{}
+	net.Register(0, a)
+	net.Register(1, b)
+	net.StartAt(0, 0)
+	net.StartAt(1, sim.Time(50*time.Millisecond)) // after all arrivals
+	sched.RunFor(time.Millisecond)
+	for seq := int64(1); seq <= 3; seq++ {
+		a.env.Send(1, &wire.Heartbeat{Seq: seq})
+	}
+	sched.RunFor(time.Second)
+	if len(b.received) != 3 {
+		t.Fatalf("received %d messages, want 3", len(b.received))
+	}
+	// Arrival order was seq 3 (delay 7ms), 2 (8ms), 1 (9ms).
+	wantOrder := []int64{3, 2, 1}
+	for i, want := range wantOrder {
+		got := b.received[i].msg.(*wire.Heartbeat).Seq
+		if got != want {
+			t.Errorf("flush position %d: seq %d, want %d", i, got, want)
+		}
+		if b.received[i].at != 50*time.Millisecond {
+			t.Errorf("flush position %d delivered at %v, want 50ms", i, b.received[i].at)
+		}
+	}
+	st := net.Stats()
+	if st.Sent != 3 || st.Delivered != 3 || st.Dropped != 0 {
+		t.Errorf("stats = %+v, want Sent=3 Delivered=3 Dropped=0", st)
+	}
+}
+
+func TestPreStartBufferDroppedOnCrash(t *testing.T) {
+	// A process that crashes before it starts never receives its buffered
+	// messages; they count as drops, not deliveries.
+	sched := sim.NewScheduler()
+	net, err := New(sched, Config{N: 2, Seed: 1, Policy: constDelay(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := &echoNode{}, &echoNode{}
+	net.Register(0, a)
+	net.Register(1, b)
+	net.StartAt(0, 0)
+	net.StartAt(1, sim.Time(50*time.Millisecond))
+	net.CrashAt(1, sim.Time(20*time.Millisecond)) // before its start
+	sched.RunFor(time.Millisecond)
+	a.env.Send(1, &wire.Heartbeat{Seq: 1})
+	a.env.Send(1, &wire.Heartbeat{Seq: 2})
+	sched.RunFor(time.Second)
+	if len(b.received) != 0 {
+		t.Fatalf("crashed-before-start process received %d messages", len(b.received))
+	}
+	st := net.Stats()
+	if st.Sent != 2 || st.Delivered != 0 || st.Dropped != 2 {
+		t.Errorf("stats = %+v, want Sent=2 Delivered=0 Dropped=2", st)
+	}
+}
+
+func TestEnvelopePoolSteadyStateDoesNotGrow(t *testing.T) {
+	// After a burst settles, subsequent traffic reuses pooled envelopes:
+	// the free list stops growing once it covers the in-flight peak.
+	net, nodes, sched := newTestNet(t, 2, constDelay(time.Millisecond), nil)
+	sched.RunFor(time.Millisecond)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 10; i++ {
+			nodes[0].env.Send(1, &wire.Heartbeat{Seq: int64(round*10 + i)})
+		}
+		sched.RunFor(10 * time.Millisecond)
+	}
+	if got := len(net.envFree); got > 10 {
+		t.Errorf("free list grew to %d envelopes; want <= burst size 10", got)
+	}
+	if len(nodes[1].received) != 50 {
+		t.Fatalf("received %d, want 50", len(nodes[1].received))
 	}
 }
 

@@ -1,0 +1,44 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 137
+		seen := make([]int32, n)
+		ForEach(n, workers, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForEachResultsIndependentOfWorkers(t *testing.T) {
+	n := 50
+	run := func(workers int) []int {
+		out := make([]int, n)
+		ForEach(n, workers, func(i int) { out[i] = i * i })
+		return out
+	}
+	a, b := run(1), run(runtime.NumCPU())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("results differ at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -246,7 +246,14 @@ func (g *winningGate) OnDelivered(ev *netsim.Envelope, now sim.Time) []*netsim.E
 		}
 		if budget := g.loseBudget(); budget < g.lastBudget {
 			g.lastBudget = budget
-			for to, hh := range g.loseHeld {
+			// Sweep receivers in id order: releases append to out, so
+			// map-iteration order here would leak into delivery order
+			// and break same-seed determinism.
+			for to := proc.ID(0); to < proc.ID(g.params.N); to++ {
+				hh := g.loseHeld[to]
+				if hh == nil {
+					continue
+				}
 				var keep holdHeap
 				for _, h := range *hh {
 					if h.rank > budget {

@@ -12,10 +12,34 @@
 // start of the run, and durations use time.Duration so that configuration
 // reads naturally (10*time.Millisecond). Nothing ever sleeps on the wall
 // clock.
+//
+// # Design: arena, free list, generation tags
+//
+// The scheduler is built for a near-zero-allocation steady state, because
+// every simulated message and timer passes through it:
+//
+//   - Events live in a value-typed arena ([]eventSlot) recycled through an
+//     intrusive free list, so a steady-state simulation performs no per-event
+//     heap allocation: slots freed by executed or cancelled events are reused
+//     by the next schedule call.
+//   - The priority queue is an index-based binary min-heap of small value
+//     items carrying the ordering key (at, seq) inline, ordered exactly as
+//     before: by virtual time, ties broken by schedule order. No
+//     container/heap interface boxing, no per-event pointer.
+//   - An EventID packs (slot, generation). Each reuse of a slot bumps its
+//     generation, so Cancel is an O(1) generation compare — no map lookup,
+//     no heap fix-up. Cancelled events leave a stale heap item behind that
+//     is skipped (generation mismatch) when it surfaces at the top.
+//   - Hot-path callers avoid closures entirely with AtTyped/AfterTyped: the
+//     event carries a Handler plus a (kind, a, p) payload by value, and the
+//     handler demultiplexes. At/After with a func() remain for cold paths.
+//
+// Determinism is unaffected by any of this: execution order is a pure
+// function of (at, seq), and seq is assigned in schedule order exactly as in
+// the original pointer-heap implementation.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -32,57 +56,60 @@ func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
 // String renders the time as a duration from run start, e.g. "1.5s".
 func (t Time) String() string { return time.Duration(t).String() }
 
-// EventID identifies a scheduled event; it can be used to cancel it.
+// EventID identifies a scheduled event; it can be used to cancel it. It packs
+// the event's arena slot and the slot's generation at schedule time, so a
+// stale id (the event already ran, or was cancelled and the slot reused)
+// simply fails the generation check.
 type EventID uint64
 
-// event is a scheduled callback.
-type event struct {
-	at       Time
-	seq      uint64 // schedule order; breaks ties deterministically
-	id       EventID
-	fn       func()
-	canceled bool
-	index    int // heap index, -1 once popped
+func makeEventID(slot int32, gen uint32) EventID {
+	return EventID(uint64(gen)<<32 | uint64(uint32(slot)))
 }
 
-// eventQueue is a min-heap ordered by (at, seq).
-type eventQueue []*event
+func (id EventID) split() (slot int32, gen uint32) {
+	return int32(uint32(id)), uint32(id >> 32)
+}
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
+// Handler receives typed events scheduled with AtTyped/AfterTyped. The
+// (kind, a, p) triple is carried in the event slot by value, so scheduling a
+// typed event allocates nothing in steady state — unlike At/After, which
+// force the caller to allocate a closure per event. Kind values are private
+// to each handler; the scheduler never interprets them.
+type Handler interface {
+	OnSimEvent(kind uint8, a uint64, p any)
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+// eventSlot is one arena cell: either a closure event (fn != nil) or a typed
+// event (h != nil). next links free slots; gen tags the slot's current
+// incarnation.
+type eventSlot struct {
+	gen  uint32
+	kind uint8
+	next int32 // free-list link, -1 = end
+	a    uint64
+	p    any
+	h    Handler
+	fn   func()
 }
-func (q *eventQueue) Push(x any) {
-	e := x.(*event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+
+// heapItem is one min-heap entry. The ordering key is inline for cache
+// locality; gen detects stale items left behind by Cancel.
+type heapItem struct {
+	at   Time
+	seq  uint64
+	slot int32
+	gen  uint32
 }
 
 // Scheduler owns the virtual clock and the event queue. The zero value is not
 // usable; create one with NewScheduler.
 type Scheduler struct {
 	now     Time
-	queue   eventQueue
+	heap    []heapItem
+	arena   []eventSlot
+	free    int32 // head of the slot free list, -1 = empty
 	nextSeq uint64
-	nextID  EventID
-	live    map[EventID]*event
+	live    int
 	stopped bool
 
 	// Processed counts events executed since creation (for metrics and
@@ -92,11 +119,50 @@ type Scheduler struct {
 
 // NewScheduler returns an empty scheduler at time 0.
 func NewScheduler() *Scheduler {
-	return &Scheduler{live: make(map[EventID]*event)}
+	return &Scheduler{free: -1}
 }
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
+
+// allocSlot pops a slot off the free list, growing the arena when empty.
+func (s *Scheduler) allocSlot() int32 {
+	if s.free >= 0 {
+		i := s.free
+		s.free = s.arena[i].next
+		return i
+	}
+	s.arena = append(s.arena, eventSlot{gen: 1, next: -1})
+	return int32(len(s.arena) - 1)
+}
+
+// freeSlot retires a slot: the generation bump invalidates outstanding
+// EventIDs and stale heap items, and reference fields are cleared so the
+// arena does not pin payloads.
+func (s *Scheduler) freeSlot(i int32) {
+	sl := &s.arena[i]
+	sl.gen++
+	sl.fn = nil
+	sl.h = nil
+	sl.p = nil
+	sl.next = s.free
+	s.free = i
+}
+
+// schedule installs an event and returns its id. Exactly one of fn and h is
+// non-nil.
+func (s *Scheduler) schedule(at Time, fn func(), h Handler, kind uint8, a uint64, p any) EventID {
+	if at < s.now {
+		at = s.now
+	}
+	i := s.allocSlot()
+	sl := &s.arena[i]
+	sl.fn, sl.h, sl.kind, sl.a, sl.p = fn, h, kind, a, p
+	s.nextSeq++
+	s.heapPush(heapItem{at: at, seq: s.nextSeq, slot: i, gen: sl.gen})
+	s.live++
+	return makeEventID(i, sl.gen)
+}
 
 // At schedules fn to run at absolute time at. Scheduling in the past (or at
 // the current instant) runs the event at the current time but after all
@@ -105,15 +171,7 @@ func (s *Scheduler) At(at Time, fn func()) EventID {
 	if fn == nil {
 		panic("sim: At called with nil function")
 	}
-	if at < s.now {
-		at = s.now
-	}
-	s.nextSeq++
-	s.nextID++
-	e := &event{at: at, seq: s.nextSeq, id: s.nextID, fn: fn}
-	heap.Push(&s.queue, e)
-	s.live[e.id] = e
-	return e.id
+	return s.schedule(at, fn, nil, 0, 0, nil)
 }
 
 // After schedules fn to run d after the current time. Negative d is treated
@@ -125,39 +183,122 @@ func (s *Scheduler) After(d time.Duration, fn func()) EventID {
 	return s.At(s.now.Add(d), fn)
 }
 
+// AtTyped schedules a typed event: at time at, h.OnSimEvent(kind, a, p) runs.
+// It is the allocation-free alternative to At for hot paths.
+func (s *Scheduler) AtTyped(at Time, h Handler, kind uint8, a uint64, p any) EventID {
+	if h == nil {
+		panic("sim: AtTyped called with nil handler")
+	}
+	return s.schedule(at, nil, h, kind, a, p)
+}
+
+// AfterTyped schedules a typed event d after the current time. Negative d is
+// treated as zero.
+func (s *Scheduler) AfterTyped(d time.Duration, h Handler, kind uint8, a uint64, p any) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtTyped(s.now.Add(d), h, kind, a, p)
+}
+
 // Cancel prevents a scheduled event from running. Cancelling an event that
 // already ran (or was already cancelled) is a no-op and returns false.
+// Cancel is O(1): it frees the arena slot and lets the stale heap item be
+// skipped when it reaches the top.
 func (s *Scheduler) Cancel(id EventID) bool {
-	e, ok := s.live[id]
-	if !ok {
+	slot, gen := id.split()
+	if slot < 0 || int(slot) >= len(s.arena) || s.arena[slot].gen != gen {
 		return false
 	}
-	delete(s.live, id)
-	e.canceled = true
-	e.fn = nil
+	s.freeSlot(slot)
+	s.live--
 	return true
 }
 
 // Pending returns the number of not-yet-executed, not-cancelled events.
-func (s *Scheduler) Pending() int { return len(s.live) }
+func (s *Scheduler) Pending() int { return s.live }
 
 // Stop makes Run return after the current event completes.
 func (s *Scheduler) Stop() { s.stopped = true }
 
+// heapLess orders items by (at, seq): virtual time, ties broken by schedule
+// order.
+func (s *Scheduler) heapLess(i, j int) bool {
+	a, b := &s.heap[i], &s.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Scheduler) heapPush(it heapItem) {
+	s.heap = append(s.heap, it)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.heapLess(i, parent) {
+			break
+		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		i = parent
+	}
+}
+
+// heapPopTop removes the minimum item.
+func (s *Scheduler) heapPopTop() heapItem {
+	h := s.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	s.heap = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s.heapLess(r, l) {
+			m = r
+		}
+		if !s.heapLess(m, i) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}
+
+// dropStaleTop pops cancelled items off the heap top so that s.heap[0], when
+// present, is a live event.
+func (s *Scheduler) dropStaleTop() {
+	for len(s.heap) > 0 && s.arena[s.heap[0].slot].gen != s.heap[0].gen {
+		s.heapPopTop()
+	}
+}
+
 // step executes the earliest pending event. It reports false when the queue
 // is empty.
 func (s *Scheduler) step() bool {
-	for s.queue.Len() > 0 {
-		e := heap.Pop(&s.queue).(*event)
-		if e.canceled {
-			continue
+	for len(s.heap) > 0 {
+		it := s.heapPopTop()
+		sl := &s.arena[it.slot]
+		if sl.gen != it.gen {
+			continue // cancelled
 		}
-		delete(s.live, e.id)
-		if e.at > s.now {
-			s.now = e.at
+		fn, h, kind, a, p := sl.fn, sl.h, sl.kind, sl.a, sl.p
+		s.freeSlot(it.slot)
+		s.live--
+		if it.at > s.now {
+			s.now = it.at
 		}
 		s.Processed++
-		e.fn()
+		if fn != nil {
+			fn()
+		} else {
+			h.OnSimEvent(kind, a, p)
+		}
 		return true
 	}
 	return false
@@ -171,7 +312,8 @@ func (s *Scheduler) Run(horizon Time) uint64 {
 	s.stopped = false
 	start := s.Processed
 	for !s.stopped {
-		if s.queue.Len() == 0 {
+		s.dropStaleTop()
+		if len(s.heap) == 0 {
 			// Idle: the clock still advances to the horizon, so that
 			// RunFor(d) always moves virtual time forward by d.
 			if horizon > s.now {
@@ -180,12 +322,7 @@ func (s *Scheduler) Run(horizon Time) uint64 {
 			break
 		}
 		// Peek: do not run events beyond the horizon.
-		next := s.queue[0]
-		if next.canceled {
-			heap.Pop(&s.queue)
-			continue
-		}
-		if next.at > horizon {
+		if s.heap[0].at > horizon {
 			if horizon > s.now {
 				s.now = horizon
 			}

@@ -351,6 +351,178 @@ func TestRandPanics(t *testing.T) {
 	}
 }
 
+// recordingHandler collects typed events for inspection.
+type recordingHandler struct {
+	events []struct {
+		kind uint8
+		a    uint64
+		p    any
+		at   Time
+	}
+	s *Scheduler
+}
+
+func (h *recordingHandler) OnSimEvent(kind uint8, a uint64, p any) {
+	h.events = append(h.events, struct {
+		kind uint8
+		a    uint64
+		p    any
+		at   Time
+	}{kind, a, p, h.s.Now()})
+}
+
+func TestTypedEvents(t *testing.T) {
+	s := NewScheduler()
+	h := &recordingHandler{s: s}
+	payload := &struct{ x int }{42}
+	s.AfterTyped(2*time.Millisecond, h, 7, 99, payload)
+	s.AtTyped(Time(time.Millisecond), h, 3, 11, nil)
+	if err := s.RunAll(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.events) != 2 {
+		t.Fatalf("got %d events", len(h.events))
+	}
+	if h.events[0].kind != 3 || h.events[0].a != 11 || h.events[0].at != Time(time.Millisecond) {
+		t.Errorf("first event = %+v", h.events[0])
+	}
+	if h.events[1].kind != 7 || h.events[1].a != 99 || h.events[1].p != payload {
+		t.Errorf("second event = %+v", h.events[1])
+	}
+}
+
+func TestTypedAndClosureEventsInterleave(t *testing.T) {
+	s := NewScheduler()
+	h := &recordingHandler{s: s}
+	var order []string
+	s.AtTyped(Time(5), h, 1, 0, nil)
+	s.At(Time(5), func() { order = append(order, "fn") })
+	s.AtTyped(Time(5), h, 2, 0, nil)
+	s.At(Time(5), func() { order = append(order, "fn2") })
+	if err := s.RunAll(10); err != nil {
+		t.Fatal(err)
+	}
+	// Ties break by schedule order: typed(1), fn, typed(2), fn2.
+	if len(h.events) != 2 || h.events[0].kind != 1 || h.events[1].kind != 2 {
+		t.Fatalf("typed events = %+v", h.events)
+	}
+	if len(order) != 2 || order[0] != "fn" || order[1] != "fn2" {
+		t.Fatalf("closure order = %v", order)
+	}
+}
+
+func TestTypedCancel(t *testing.T) {
+	s := NewScheduler()
+	h := &recordingHandler{s: s}
+	id := s.AfterTyped(time.Millisecond, h, 1, 0, nil)
+	if !s.Cancel(id) {
+		t.Fatal("Cancel returned false")
+	}
+	if err := s.RunAll(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.events) != 0 {
+		t.Fatal("cancelled typed event ran")
+	}
+}
+
+func TestStaleIDAfterSlotReuse(t *testing.T) {
+	// Cancelling an event frees its arena slot; the next schedule reuses
+	// it under a new generation, so the stale id must not cancel (or
+	// otherwise affect) the new event.
+	s := NewScheduler()
+	ran := false
+	old := s.After(time.Millisecond, func() {})
+	if !s.Cancel(old) {
+		t.Fatal("first Cancel failed")
+	}
+	s.After(time.Millisecond, func() { ran = true })
+	if s.Cancel(old) {
+		t.Fatal("stale id cancelled the slot's new occupant")
+	}
+	if err := s.RunAll(10); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("new event did not run")
+	}
+	if s.Cancel(old) {
+		t.Fatal("stale id accepted after event ran")
+	}
+}
+
+func TestArenaReuseKeepsFootprintBounded(t *testing.T) {
+	// A self-rescheduling workload with one outstanding event must not
+	// grow the arena: each executed event's slot is recycled for the next.
+	s := NewScheduler()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 10000 {
+			s.After(time.Microsecond, tick)
+		}
+	}
+	s.After(0, tick)
+	if err := s.RunAll(20000); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10000 {
+		t.Fatalf("ticks = %d", n)
+	}
+	if len(s.arena) > 2 {
+		t.Errorf("arena grew to %d slots for a 1-outstanding-event workload", len(s.arena))
+	}
+}
+
+func TestPendingWithCancels(t *testing.T) {
+	s := NewScheduler()
+	ids := make([]EventID, 10)
+	for i := range ids {
+		ids[i] = s.After(time.Duration(i+1)*time.Millisecond, func() {})
+	}
+	if s.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", s.Pending())
+	}
+	for _, id := range ids[:5] {
+		s.Cancel(id)
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("Pending = %d after cancels, want 5", s.Pending())
+	}
+	s.RunFor(3 * time.Millisecond)
+	// The surviving events fire at 6..10ms, so none has run at 3ms.
+	if s.Pending() != 5 {
+		t.Fatalf("Pending = %d after partial run, want 5", s.Pending())
+	}
+	s.RunFor(time.Second)
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d at end, want 0", s.Pending())
+	}
+}
+
+func BenchmarkTypedSelfScheduling(b *testing.B) {
+	s := NewScheduler()
+	h := &tickHandler{s: s}
+	s.AfterTyped(0, h, 1, 0, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step()
+	}
+}
+
+// tickHandler reschedules itself forever, exercising the typed hot path.
+type tickHandler struct {
+	s *Scheduler
+	n int
+}
+
+func (h *tickHandler) OnSimEvent(kind uint8, a uint64, p any) {
+	h.n++
+	h.s.AfterTyped(time.Microsecond, h, kind, a, nil)
+}
+
 func BenchmarkScheduleRun(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -48,6 +48,10 @@ const (
 	KindDecide
 	KindMux
 	KindABCast
+
+	// KindCount is one past the largest defined kind; fixed-size per-kind
+	// counter arrays (netsim.Stats) are indexed by Kind and sized by it.
+	KindCount
 )
 
 var kindNames = map[Kind]string{

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# bench.sh — run the repository benchmarks and record them as JSON, so every
+# PR leaves a perf trajectory to compare against.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#
+# Environment:
+#   BENCH      benchmark regexp passed to -bench   (default: .)
+#   BENCHTIME  iterations/duration per benchmark   (default: 3x)
+#
+# Output: a JSON array of objects, one per benchmark, e.g.
+#   {"name":"BenchmarkF1Election/fig1","iterations":3,"ns_op":8044970,
+#    "events_op":22598,"msgs_op":18225,"vevents_s":2823857,
+#    "B_op":1132674,"allocs_op":31260}
+# The keys mirror `go test -bench` units with '/' spelled '_'.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_1.json}"
+bench="${BENCH:-.}"
+benchtime="${BENCHTIME:-3x}"
+
+go test -run '^$' -bench "$bench" -benchmem -benchtime "$benchtime" . |
+	tee /dev/stderr |
+	awk '
+		BEGIN { print "["; sep = "" }
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)  # strip -GOMAXPROCS suffix
+			printf "%s  {\"name\":\"%s\",\"iterations\":%s", sep, name, $2
+			for (i = 3; i < NF; i += 2) {
+				unit = $(i + 1)
+				gsub(/[^A-Za-z0-9_]/, "_", unit)
+				printf ",\"%s\":%s", unit, $i
+			}
+			printf "}"
+			sep = ",\n"
+		}
+		END { print "\n]" }
+	' >"$out"
+
+echo "wrote $out" >&2
