@@ -177,9 +177,12 @@ func BenchmarkQ1GapSweep(b *testing.B) {
 }
 
 // BenchmarkQ2Scale measures simulator and protocol cost as the system grows
-// (experiment Q2-STAB-N).
+// (experiment Q2-STAB-N). The n=25/51/101 points are the large-n scaling
+// story the zero-allocation protocol layer unlocks: message volume grows
+// quadratically, so per-message allocation dominates everything at these
+// sizes.
 func BenchmarkQ2Scale(b *testing.B) {
-	for _, n := range []int{3, 5, 9, 13} {
+	for _, n := range []int{3, 5, 9, 13, 25, 51, 101} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			benchRun(b, harness.Config{
 				Family:   scenario.FamilyCombined,
@@ -188,6 +191,36 @@ func BenchmarkQ2Scale(b *testing.B) {
 				Duration: 5 * time.Second,
 			})
 		})
+	}
+}
+
+// BenchmarkCHChurn measures the churn preset (experiment CH): rotating
+// crash/recovery, late-message floods and ring-window evictions under
+// adversarial round skew.
+func BenchmarkCHChurn(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	var stab, elapsed time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Run(harness.ChurnConfig(harness.ChurnSpec{
+			N: 5, T: 2, Seed: uint64(i) + 1,
+			Duration: 10 * time.Second,
+		}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Report.Stabilized {
+			b.Fatalf("seed %d: churn run did not stabilize", i+1)
+		}
+		events += res.Events
+		elapsed += res.Elapsed
+		stab += res.StabilizationTime()
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(events)/n, "events/op")
+	b.ReportMetric(float64(stab.Milliseconds())/n, "stab_ms")
+	if elapsed > 0 {
+		b.ReportMetric(float64(events)/elapsed.Seconds(), "vevents/s")
 	}
 }
 

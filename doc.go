@@ -23,13 +23,26 @@
 //     instead of closures. See the internal/sim package comment for the
 //     design and the determinism guarantees it preserves.
 //   - internal/netsim recycles message envelopes through a per-network free
-//     list, buffers pre-start deliveries per process (flushed at Start),
-//     and counts per-kind traffic in fixed arrays indexed by wire.Kind.
+//     list (refilled in blocks, so even an adversarially growing in-flight
+//     population costs O(peak/block) allocations), buffers pre-start
+//     deliveries per process (flushed at Start), and counts per-kind
+//     traffic in fixed arrays indexed by wire.Kind. It also owns the
+//     payload recycle point: pooled wire messages are reference-counted
+//     per send and returned to their sender's pool when the last
+//     recipient's delivery completes.
+//   - The protocol layers allocate nothing per message in steady state:
+//     outgoing payloads (ALIVE susp_level snapshots, suspect bitsets,
+//     consensus ballots, mux envelopes) come from per-node pools
+//     (internal/wire), and all round-indexed bookkeeping lives in
+//     fixed-size ring windows with row recycling (internal/rounds), with
+//     an exact overflow map for pathological round skew.
 //   - internal/harness.RunGrid and cmd/experiments fan independent runs out
 //     across a worker pool (internal/par); every run owns its scheduler and
 //     seeds, so results are byte-identical for every worker count.
 //
 // scripts/bench.sh records the benchmark suite (ns/op, allocs/op, domain
 // metrics such as virtual events per second) into BENCH_<n>.json files, one
-// per PR, forming the repository's performance trajectory.
+// per PR, forming the repository's performance trajectory;
+// `scripts/bench.sh --diff BENCH_1.json BENCH_2.json` renders the deltas
+// between two recordings as a markdown table.
 package repro

@@ -78,6 +78,7 @@ type Node struct {
 	cons *consensus.Node
 
 	nextLocalID int64
+	pool        wire.ABCastPool // recycled diffusion payloads
 	contents    map[int64]int64 // key -> payload (diffused contents)
 	sequenced   map[int64]bool  // keys decided into some slot
 	delivered   map[int64]bool  // keys already delivered
@@ -130,7 +131,8 @@ func (n *Node) Broadcast(payload int64) {
 		return
 	}
 	n.nextLocalID++
-	m := &wire.ABCast{Sender: int32(n.env.ID()), LocalID: n.nextLocalID, Payload: payload}
+	m := n.pool.Get()
+	m.Sender, m.LocalID, m.Payload = int32(n.env.ID()), n.nextLocalID, payload
 	proc.BroadcastAll(n.env, m)
 }
 

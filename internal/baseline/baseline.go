@@ -74,6 +74,7 @@ type StableNode struct {
 	lastSeen []time.Duration // local receipt time of freshest heartbeat
 	timeout  []time.Duration // adaptive per-sender timeouts
 	trusted  []bool
+	hbPool   wire.HeartbeatPool // recycled beacon payloads
 	crashed  bool
 }
 
@@ -105,7 +106,9 @@ func (s *StableNode) Start(env proc.Env) {
 
 func (s *StableNode) beacon() {
 	s.seq++
-	proc.Broadcast(s.env, &wire.Heartbeat{Seq: s.seq})
+	hb := s.hbPool.Get()
+	hb.Seq = s.seq
+	proc.Broadcast(s.env, hb)
 	s.env.SetTimer(timerBeacon, s.cfg.Period)
 }
 

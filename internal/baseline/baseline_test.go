@@ -219,8 +219,8 @@ func TestTimeFreeRetention(t *testing.T) {
 	for rn := int64(1); rn <= 60; rn++ {
 		n.OnMessage(1, &wire.Suspicion{RN: rn, Suspects: bitset.FromMembers(4, 3)})
 	}
-	if len(n.suspicions) > 7 {
-		t.Fatalf("suspicion rows = %d with retention 5", len(n.suspicions))
+	if got := n.win.SuspRounds(); got > 7 {
+		t.Fatalf("suspicion rounds tracked = %d with retention 5", got)
 	}
 }
 

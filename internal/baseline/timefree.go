@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/bitset"
 	"repro/internal/proc"
+	"repro/internal/rounds"
 	"repro/internal/wire"
 )
 
@@ -18,6 +18,9 @@ type TimeFreeConfig struct {
 	Period time.Duration
 	// Retention prunes per-round bookkeeping (0 keeps everything).
 	Retention int64
+	// WindowSlots sizes the round-window ring (see core.Config); 0 means
+	// rounds.DefaultSlots.
+	WindowSlots int
 }
 
 func (c TimeFreeConfig) withDefaults() TimeFreeConfig {
@@ -42,16 +45,21 @@ func (c TimeFreeConfig) withDefaults() TimeFreeConfig {
 // timer conjunct in the round guard, which is precisely what makes the
 // construction time-free — and what makes it unable to exploit δ-timely
 // links that do not win reception races.
+//
+// Round bookkeeping lives in the same ring-window store as the core
+// algorithm (internal/rounds) and outgoing beacons/suspicions ride pooled
+// payloads, so the hot path allocates nothing in steady state.
 type TimeFreeNode struct {
 	cfg TimeFreeConfig
 	env proc.Env
 
 	sRN, rRN     int64
 	counter      []int64
-	recFrom      map[int64]*bitset.Set
-	suspicions   map[int64][]int32
-	suspReported map[int64]*bitset.Set
+	win          *rounds.Window
+	alivePool    wire.AlivePool
+	suspPool     wire.SuspicionPool
 	maxRoundSeen int64
+	prunedBelow  int64
 	crashed      bool
 }
 
@@ -67,11 +75,10 @@ func NewTimeFree(cfg TimeFreeConfig) (*TimeFreeNode, error) {
 		return nil, fmt.Errorf("baseline: Alpha must be in [2,%d], got %d", cfg.N, cfg.Alpha)
 	}
 	return &TimeFreeNode{
-		cfg:          cfg,
-		counter:      make([]int64, cfg.N),
-		recFrom:      make(map[int64]*bitset.Set),
-		suspicions:   make(map[int64][]int32),
-		suspReported: make(map[int64]*bitset.Set),
+		cfg:         cfg,
+		counter:     make([]int64, cfg.N),
+		win:         rounds.New(cfg.N, cfg.WindowSlots),
+		prunedBelow: 1,
 	}, nil
 }
 
@@ -84,9 +91,10 @@ func (n *TimeFreeNode) Start(env proc.Env) {
 
 func (n *TimeFreeNode) beacon() {
 	n.sRN++
-	cs := make([]int64, len(n.counter))
-	copy(cs, n.counter)
-	proc.Broadcast(n.env, &wire.Alive{RN: n.sRN, SuspLevel: cs})
+	m := n.alivePool.Get(n.cfg.N)
+	m.RN = n.sRN
+	copy(m.SuspLevel, n.counter)
+	proc.Broadcast(n.env, m)
 	n.env.SetTimer(timerBeacon, n.cfg.Period)
 }
 
@@ -116,6 +124,16 @@ func (n *TimeFreeNode) OnMessage(from proc.ID, msg any) {
 	}
 }
 
+// recRow returns the row holding rec_from[rn], creating it (as {i}) on
+// first use.
+func (n *TimeFreeNode) recRow(rn int64) *rounds.Row {
+	row := n.win.Claim(rn, n.rRN, n.prunedBelow)
+	if !row.RecLive {
+		row.BeginRec(n.env.ID())
+	}
+	return row
+}
+
 func (n *TimeFreeNode) onBeacon(from proc.ID, m *wire.Alive) {
 	n.noteRound(m.RN)
 	for k, v := range m.SuspLevel {
@@ -126,47 +144,33 @@ func (n *TimeFreeNode) onBeacon(from proc.ID, m *wire.Alive) {
 	if m.RN < n.rRN {
 		return
 	}
-	row := n.recFrom[m.RN]
-	if row == nil {
-		row = bitset.New(n.cfg.N)
-		row.Add(n.env.ID())
-		n.recFrom[m.RN] = row
-	}
-	row.Add(from)
+	n.recRow(m.RN).Rec.Add(from)
 	// Time-free guard: the round closes on alpha receptions alone.
 	for {
-		cur := n.recFrom[n.rRN]
-		if cur == nil {
-			cur = bitset.New(n.cfg.N)
-			cur.Add(n.env.ID())
-			n.recFrom[n.rRN] = cur
-		}
-		if cur.Count() < n.cfg.Alpha {
+		cur := n.recRow(n.rRN)
+		if cur.Rec.Count() < n.cfg.Alpha {
 			return
 		}
-		suspects := cur.Complement()
-		proc.BroadcastAll(n.env, &wire.Suspicion{RN: n.rRN, Suspects: suspects})
-		delete(n.recFrom, n.rRN)
+		sus := n.suspPool.Get(n.cfg.N)
+		sus.RN = n.rRN
+		sus.Suspects.ComplementFrom(cur.Rec)
+		proc.BroadcastAll(n.env, sus)
+		n.win.CompleteRec(n.rRN)
 		n.rRN++
 	}
 }
 
 func (n *TimeFreeNode) onSuspicion(from proc.ID, m *wire.Suspicion) {
 	n.noteRound(m.RN)
-	rep := n.suspReported[m.RN]
-	if rep == nil {
-		rep = bitset.New(n.cfg.N)
-		n.suspReported[m.RN] = rep
+	row := n.win.Claim(m.RN, n.rRN, n.prunedBelow)
+	if !row.SuspLive {
+		row.BeginSusp()
 	}
-	if rep.Contains(from) {
+	if row.Reported.Contains(from) {
 		return
 	}
-	rep.Add(from)
-	counts := n.suspicions[m.RN]
-	if counts == nil {
-		counts = make([]int32, n.cfg.N)
-		n.suspicions[m.RN] = counts
-	}
+	row.Reported.Add(from)
+	counts := row.Counts
 	m.Suspects.ForEach(func(k int) {
 		counts[k]++
 		if int(counts[k]) >= n.cfg.Alpha {
@@ -174,6 +178,9 @@ func (n *TimeFreeNode) onSuspicion(from proc.ID, m *wire.Suspicion) {
 		}
 	})
 	n.prune()
+	if n.cfg.Retention != 0 && m.RN < n.prunedBelow {
+		n.win.DropSusp(m.RN) // match the map implementation's sweep
+	}
 }
 
 // OnCrash implements proc.Crashable.
@@ -212,24 +219,11 @@ func (n *TimeFreeNode) prune() {
 		return
 	}
 	horizon := n.maxRoundSeen - n.cfg.Retention
-	if horizon <= 0 {
+	if horizon <= n.prunedBelow {
 		return
 	}
-	for rn := range n.suspicions {
-		if rn < horizon {
-			delete(n.suspicions, rn)
-		}
-	}
-	for rn := range n.suspReported {
-		if rn < horizon {
-			delete(n.suspReported, rn)
-		}
-	}
-	for rn := range n.recFrom {
-		if rn < horizon && rn < n.rRN {
-			delete(n.recFrom, rn)
-		}
-	}
+	n.prunedBelow = horizon
+	n.win.Prune(n.rRN, horizon)
 }
 
 var (

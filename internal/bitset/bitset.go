@@ -169,6 +169,20 @@ func (s *Set) Complement() *Set {
 	return c
 }
 
+// ComplementFrom overwrites s with the complement of o (the universe
+// elements not in o). Both sets must have the same universe size. Unlike
+// Complement it allocates nothing; protocol hot paths compute suspect sets
+// into pooled destinations with it.
+func (s *Set) ComplementFrom(o *Set) {
+	s.mustMatch(o)
+	for i, w := range o.words {
+		s.words[i] = ^w
+	}
+	if rem := uint(s.n % wordBits); rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << rem) - 1
+	}
+}
+
 // Equal reports whether s and o have the same universe and the same members.
 func (s *Set) Equal(o *Set) bool {
 	if s.n != o.n {
@@ -220,6 +234,10 @@ func (s *Set) Words() []uint64 {
 	copy(out, s.words)
 	return out
 }
+
+// WordCount returns the number of underlying words without copying them.
+// Size accounting runs once per send, so it must not allocate.
+func (s *Set) WordCount() int { return len(s.words) }
 
 // SetWords overwrites the set contents from a word slice previously obtained
 // via Words (same universe size). Extra bits beyond the universe are cleared.

@@ -349,3 +349,24 @@ func BenchmarkForEach(b *testing.B) {
 	}
 	_ = sum
 }
+
+func TestComplementFrom(t *testing.T) {
+	src := FromMembers(10, 1, 3, 9)
+	dst := FromMembers(10, 0, 5) // stale contents must be overwritten
+	dst.ComplementFrom(src)
+	if !dst.Equal(src.Complement()) {
+		t.Fatalf("ComplementFrom = %v, want %v", dst, src.Complement())
+	}
+	// The top word's spare bits stay clear (Count would overcount).
+	if dst.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", dst.Count())
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	for _, tc := range []struct{ n, words int }{{1, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3}} {
+		if got := New(tc.n).WordCount(); got != tc.words {
+			t.Errorf("WordCount(n=%d) = %d, want %d", tc.n, got, tc.words)
+		}
+	}
+}

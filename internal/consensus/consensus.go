@@ -85,7 +85,8 @@ type instance struct {
 	hasProposal bool
 	ballot      wire.Ballot // current attempt (zero when idle)
 	phase       int         // 0 idle, 1 collecting promises, 2 collecting accepts
-	votes       map[proc.ID]bool
+	votes       []bool      // per-process vote flags for the current phase
+	nvotes      int         // number of set flags (quorum check)
 	chosenVal   int64       // value being pushed in phase 2
 	pickBallot  wire.Ballot // highest accepted ballot seen among promises
 	pickVal     int64
@@ -102,6 +103,13 @@ type Node struct {
 	env proc.Env
 
 	instances map[int64]*instance
+	// Outgoing payload pools; the transport recycles a payload when its
+	// last delivery completes (see internal/wire's pooling contract).
+	preparePool  wire.PreparePool
+	promisePool  wire.PromisePool
+	acceptPool   wire.AcceptPool
+	acceptedPool wire.AcceptedPool
+	decidePool   wire.DecidePool
 	// order lists instance ids in creation order. The retry loop iterates
 	// it instead of the map: map iteration order is randomized per run,
 	// which would make ballot launch order — and hence the whole message
@@ -204,11 +212,33 @@ func (n *Node) maybeLead(inst int64, st *instance) {
 	n.maxCounter++
 	st.ballot = wire.Ballot{Counter: n.maxCounter, Proposer: int32(n.env.ID())}
 	st.phase = 1
-	st.votes = make(map[proc.ID]bool)
+	st.resetVotes(n.cfg.N)
 	st.pickHas = false
 	st.pickBallot = wire.Ballot{}
 	n.Ballots++
-	proc.BroadcastAll(n.env, &wire.Prepare{Instance: inst, Ballot: st.ballot})
+	m := n.preparePool.Get()
+	m.Instance, m.Ballot = inst, st.ballot
+	proc.BroadcastAll(n.env, m)
+}
+
+// resetVotes clears the phase's vote flags, reusing the instance's array.
+func (st *instance) resetVotes(n int) {
+	if st.votes == nil {
+		st.votes = make([]bool, n)
+	} else {
+		for i := range st.votes {
+			st.votes[i] = false
+		}
+	}
+	st.nvotes = 0
+}
+
+// vote records a vote from one process, idempotently.
+func (st *instance) vote(from proc.ID) {
+	if !st.votes[from] {
+		st.votes[from] = true
+		st.nvotes++
+	}
 }
 
 // OnMessage implements proc.Node.
@@ -242,21 +272,36 @@ func (n *Node) onPrepare(from proc.ID, m *wire.Prepare) {
 	st := n.inst(m.Instance)
 	n.noteCounter(m.Ballot)
 	if st.decided {
-		n.env.Send(from, &wire.Decide{Instance: m.Instance, Value: st.decidedVal})
+		n.sendDecide(from, m.Instance, st.decidedVal)
 		return
 	}
 	if st.promised.Less(m.Ballot) {
 		st.promised = m.Ballot
-		n.env.Send(from, &wire.Promise{
-			Instance:   m.Instance,
-			Ballot:     m.Ballot,
-			AcceptedAt: st.accepted,
-			Value:      st.acceptedVal,
-			HasValue:   st.hasAccepted,
-		})
+		p := n.promisePool.Get()
+		p.Instance = m.Instance
+		p.Ballot = m.Ballot
+		p.AcceptedAt = st.accepted
+		p.Value = st.acceptedVal
+		p.HasValue = st.hasAccepted
+		p.NACK = false
+		n.env.Send(from, p)
 		return
 	}
-	n.env.Send(from, &wire.Promise{Instance: m.Instance, Ballot: st.promised, NACK: true})
+	p := n.promisePool.Get()
+	p.Instance = m.Instance
+	p.Ballot = st.promised
+	p.AcceptedAt = wire.Ballot{}
+	p.Value = 0
+	p.HasValue = false
+	p.NACK = true
+	n.env.Send(from, p)
+}
+
+// sendDecide answers a straggler with the known decision.
+func (n *Node) sendDecide(to proc.ID, inst, val int64) {
+	d := n.decidePool.Get()
+	d.Instance, d.Value = inst, val
+	n.env.Send(to, d)
 }
 
 func (n *Node) onPromise(from proc.ID, m *wire.Promise) {
@@ -275,13 +320,13 @@ func (n *Node) onPromise(from proc.ID, m *wire.Promise) {
 	if st.phase != 1 || m.Ballot != st.ballot || st.decided {
 		return // stale or foreign promise
 	}
-	st.votes[from] = true
+	st.vote(from)
 	if m.HasValue && st.pickBallot.Less(m.AcceptedAt) {
 		st.pickBallot = m.AcceptedAt
 		st.pickVal = m.Value
 		st.pickHas = true
 	}
-	if len(st.votes) < n.quorum() {
+	if st.nvotes < n.quorum() {
 		return
 	}
 	// Phase 2: push the constrained value (highest accepted) or our own.
@@ -290,15 +335,17 @@ func (n *Node) onPromise(from proc.ID, m *wire.Promise) {
 		st.chosenVal = st.pickVal
 	}
 	st.phase = 2
-	st.votes = make(map[proc.ID]bool)
-	proc.BroadcastAll(n.env, &wire.Accept{Instance: m.Instance, Ballot: st.ballot, Value: st.chosenVal})
+	st.resetVotes(n.cfg.N)
+	a := n.acceptPool.Get()
+	a.Instance, a.Ballot, a.Value = m.Instance, st.ballot, st.chosenVal
+	proc.BroadcastAll(n.env, a)
 }
 
 func (n *Node) onAccept(from proc.ID, m *wire.Accept) {
 	st := n.inst(m.Instance)
 	n.noteCounter(m.Ballot)
 	if st.decided {
-		n.env.Send(from, &wire.Decide{Instance: m.Instance, Value: st.decidedVal})
+		n.sendDecide(from, m.Instance, st.decidedVal)
 		return
 	}
 	// Accept at b if no promise to anything higher was given (b >= promised).
@@ -307,10 +354,14 @@ func (n *Node) onAccept(from proc.ID, m *wire.Accept) {
 		st.accepted = m.Ballot
 		st.acceptedVal = m.Value
 		st.hasAccepted = true
-		n.env.Send(from, &wire.Accepted{Instance: m.Instance, Ballot: m.Ballot})
+		a := n.acceptedPool.Get()
+		a.Instance, a.Ballot, a.NACK = m.Instance, m.Ballot, false
+		n.env.Send(from, a)
 		return
 	}
-	n.env.Send(from, &wire.Accepted{Instance: m.Instance, Ballot: st.promised, NACK: true})
+	a := n.acceptedPool.Get()
+	a.Instance, a.Ballot, a.NACK = m.Instance, st.promised, true
+	n.env.Send(from, a)
 }
 
 func (n *Node) onAccepted(from proc.ID, m *wire.Accepted) {
@@ -326,12 +377,14 @@ func (n *Node) onAccepted(from proc.ID, m *wire.Accepted) {
 	if st.phase != 2 || m.Ballot != st.ballot || st.decided {
 		return
 	}
-	st.votes[from] = true
-	if len(st.votes) < n.quorum() {
+	st.vote(from)
+	if st.nvotes < n.quorum() {
 		return
 	}
 	// Decided: tell everyone (including ourselves, closing the loop).
-	proc.BroadcastAll(n.env, &wire.Decide{Instance: m.Instance, Value: st.chosenVal})
+	d := n.decidePool.Get()
+	d.Instance, d.Value = m.Instance, st.chosenVal
+	proc.BroadcastAll(n.env, d)
 	n.learn(m.Instance, st.chosenVal)
 }
 

@@ -94,6 +94,26 @@ type Config struct {
 	F func(rn int64) int64
 	G func(rn int64) time.Duration
 
+	// JoinCurrentRound makes the node adopt the round frontier from the
+	// first message it receives: sending and receiving rounds jump to the
+	// message's round instead of counting up from 1. The paper starts all
+	// processes "at the beginning", so the base algorithm never needs
+	// this; churn scenarios set it on restarted incarnations, which would
+	// otherwise rejoin thousands of rounds behind and — with everyone's
+	// sending rounds mutually misaligned — starve every survivor's round
+	// guard of its alpha quorum. Safety is untouched: a rejoined process
+	// contributes reports under the same alpha threshold as anyone else.
+	JoinCurrentRound bool
+
+	// WindowSlots sizes the ring of round-indexed bookkeeping rows
+	// (rounded up to a power of two). It must comfortably exceed the
+	// deepest window test (susp_level bound B+1 plus max F) and the
+	// typical skew between the rounds appearing in received messages and
+	// the local receiving round; rounds outside the ring fall back to an
+	// exact but slower overflow map (counted in Metrics). 0 means
+	// rounds.DefaultSlots.
+	WindowSlots int
+
 	// Retention, when positive, prunes suspicions/rec_from bookkeeping
 	// rows older than Retention rounds behind the newest round seen. It
 	// must comfortably exceed the eventual suspicion-level bound B+1
@@ -168,6 +188,9 @@ func (c Config) Validate() error {
 	}
 	if c.Retention < 0 {
 		return fmt.Errorf("core: Retention must be >= 0, got %d", c.Retention)
+	}
+	if c.WindowSlots < 0 {
+		return fmt.Errorf("core: WindowSlots must be >= 0, got %d", c.WindowSlots)
 	}
 	return nil
 }

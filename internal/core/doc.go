@@ -26,8 +26,8 @@
 //	s_rn_i            sRN
 //	r_rn_i            rRN
 //	susp_level_i[k]   suspLevel[k]
-//	rec_from_i[rn]    recFrom[rn]      (bitset, initialized to {i})
-//	suspicions_i[rn]  suspicions[rn]   (per-process counters)
+//	rec_from_i[rn]    win.Get(rn).Rec       (bitset, initialized to {i})
+//	suspicions_i[rn]  win.Get(rn).Counts    (per-process counters)
 //	timer_i           the round timer (TimerRound) plus timerExpired
 //
 // Task T1 (lines 1-3) is driven by the periodic TimerAlive; task T2's three
@@ -50,6 +50,32 @@
 //   - suspicions/rec_from rows are unbounded in the paper; Config.Retention
 //     optionally prunes rows far behind the newest round to run very long
 //     simulations in bounded memory (0 disables pruning, the default).
+//   - Config.JoinCurrentRound (off by default, so absent from the base
+//     algorithm) lets a churned-back incarnation adopt its peers' round
+//     frontier from the first message it receives. The paper starts all
+//     processes "at the beginning"; a process rebooting mid-run is outside
+//     its model, and without the jump the rebooted sender's rounds would be
+//     permanently misaligned with everyone's round guards.
+//
+// # Hot-path storage: ring windows and pooled payloads
+//
+// The round-indexed bookkeeping (rec_from, suspicions, the SUSPICION dedup
+// set) lives in internal/rounds: a fixed ring of per-round rows indexed by
+// rn mod W (Config.WindowSlots) whose bitsets and counter arrays are
+// recycled in place as rounds advance, plus an exact overflow map for
+// rounds displaced from the ring. The paper's own structure makes the ring
+// sufficient in steady state — the window test of line "*" only consults
+// rounds within susp_level[k] + F(rn) of the message's round, and Theorem 4
+// bounds susp_level — so map operations and row allocations happen only
+// under pathological round skew (counted in Metrics.WindowEvictions /
+// WindowOverflow), where behaviour degrades to the seed's map semantics
+// byte-for-byte rather than breaking.
+//
+// Outgoing ALIVE and SUSPICION payloads (with their susp_level snapshots
+// and suspect bitsets) come from per-node pools (internal/wire); the
+// transport reference-counts each payload and returns it to its pool when
+// the last recipient's delivery completes. A steady-state node therefore
+// allocates nothing per message in either direction.
 //
 // # Execution substrate
 //

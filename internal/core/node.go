@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/bitset"
 	"repro/internal/proc"
+	"repro/internal/rounds"
 	"repro/internal/wire"
 )
 
@@ -32,6 +32,13 @@ type Metrics struct {
 	MaxTimeout     time.Duration
 	LateAlive      uint64 // ALIVE messages discarded because rn < r_rn
 	DupSuspicion   uint64 // duplicated SUSPICION messages ignored
+
+	// Ring-window health: rounds whose data was evicted to the overflow
+	// map, and lookups served by it. Both ~0 in non-adversarial runs;
+	// growth means the round skew exceeded Config.WindowSlots and the
+	// store degraded (correctly) to map behaviour.
+	WindowEvictions uint64
+	WindowOverflow  uint64
 }
 
 // Node is one process of the paper's algorithm. Create with NewNode, then
@@ -46,25 +53,35 @@ type Node struct {
 
 	suspLevel []int64 // susp_level_i[0..n)
 
-	// recFrom[rn] is rec_from_i[rn]: processes whose ALIVE(rn) arrived
-	// while rn >= r_rn, always including the node itself. Rows are
-	// created lazily and deleted once the round completes.
-	recFrom map[int64]*bitset.Set
+	// win holds all round-indexed bookkeeping — rec_from_i[rn] (senders
+	// heard in time, always including the node itself), suspicions_i[rn]
+	// (distinct-reporter counts per target) and the SUSPICION dedup set —
+	// in a fixed ring of rows recycled as rounds advance, with an exact
+	// overflow map for out-of-window rounds. See internal/rounds.
+	win *rounds.Window
 
-	// suspicions[rn][k] is suspicions_i[rn,k]: how many distinct
-	// processes reported suspecting p_k for receiving round rn.
-	suspicions map[int64][]int32
-
-	// suspReported[rn] records which senders' SUSPICION(rn) has been
-	// counted (dedup hardening; see package docs).
-	suspReported map[int64]*bitset.Set
+	// alivePool and suspPool recycle outgoing payloads (and their
+	// susp_level snapshots / suspect bitsets); the transport returns a
+	// payload when its last delivery completes.
+	alivePool wire.AlivePool
+	suspPool  wire.SuspicionPool
 
 	// timerExpired mirrors "timer_i has expired" for the current round.
 	timerExpired bool
 
+	// joined records that the one-shot JoinCurrentRound synchronization
+	// already ran (see Config.JoinCurrentRound).
+	joined bool
+
 	// maxRoundSeen is the newest round appearing in any received
 	// message; drives Retention pruning.
 	maxRoundSeen int64
+
+	// prunedBelow is the horizon actually applied by the last prune:
+	// rounds below it hold no suspicion data. Evictions use it (not the
+	// live horizon) so that ring behaviour matches the map
+	// implementation's prune timing exactly.
+	prunedBelow int64
 
 	// lastTimeout is the value the round timer was last armed with,
 	// kept for observability (Theorem 4: timeouts stabilize).
@@ -86,11 +103,10 @@ func NewNode(id proc.ID, cfg Config) (*Node, error) {
 	// The node's identity comes from its Env at Start; the id parameter
 	// exists so misconfiguration fails at construction time.
 	return &Node{
-		cfg:          cfg,
-		suspLevel:    make([]int64, cfg.N),
-		recFrom:      make(map[int64]*bitset.Set),
-		suspicions:   make(map[int64][]int32),
-		suspReported: make(map[int64]*bitset.Set),
+		cfg:         cfg,
+		suspLevel:   make([]int64, cfg.N),
+		win:         rounds.New(cfg.N, cfg.WindowSlots),
+		prunedBelow: 1,
 	}, nil
 }
 
@@ -98,7 +114,13 @@ func NewNode(id proc.ID, cfg Config) (*Node, error) {
 func (n *Node) Config() Config { return n.cfg }
 
 // Metrics returns a snapshot of the node-local counters.
-func (n *Node) Metrics() Metrics { return n.metrics }
+func (n *Node) Metrics() Metrics {
+	m := n.metrics
+	st := n.win.Stats()
+	m.WindowEvictions = st.Evictions
+	m.WindowOverflow = st.OverflowHits
+	return m
+}
 
 // Start implements proc.Node. It performs the paper's "init" block: round
 // counters at their initial values, susp_level all zero, the round timer
@@ -138,6 +160,18 @@ func (n *Node) SuspLevel() []int64 {
 	return out
 }
 
+// SuspLevelInto copies the susp_level array into dst (grown if needed) and
+// returns it. Checker hot paths use it to observe every delivery without
+// allocating a fresh snapshot per event.
+func (n *Node) SuspLevelInto(dst []int64) []int64 {
+	if cap(dst) < len(n.suspLevel) {
+		dst = make([]int64, len(n.suspLevel))
+	}
+	dst = dst[:len(n.suspLevel)]
+	copy(dst, n.suspLevel)
+	return dst
+}
+
 // Rounds returns the current sending and receiving round numbers.
 func (n *Node) Rounds() (sRN, rRN int64) { return n.sRN, n.rRN }
 
@@ -165,10 +199,12 @@ func (n *Node) aliveTick() {
 	n.sRN++
 	n.metrics.AliveSent++
 	// Snapshot susp_level: the message must carry the values at send
-	// time (the array keeps mutating afterwards).
-	sl := make([]int64, len(n.suspLevel))
-	copy(sl, n.suspLevel)
-	proc.Broadcast(n.env, &wire.Alive{RN: n.sRN, SuspLevel: sl})
+	// time (the array keeps mutating afterwards). The snapshot rides a
+	// pooled payload that returns here when its last delivery completes.
+	m := n.alivePool.Get(n.cfg.N)
+	m.RN = n.sRN
+	copy(m.SuspLevel, n.suspLevel)
+	proc.Broadcast(n.env, m)
 	n.env.SetTimer(TimerAlive, n.cfg.AlivePeriod)
 }
 
@@ -179,11 +215,30 @@ func (n *Node) OnMessage(from proc.ID, msg any) {
 	}
 	switch m := msg.(type) {
 	case *wire.Alive:
+		n.maybeJoin(m.RN)
 		n.onAlive(from, m)
 	case *wire.Suspicion:
+		n.maybeJoin(m.RN)
 		n.onSuspicion(from, m)
 	default:
 		panic(fmt.Sprintf("core: unexpected message %T", msg))
+	}
+}
+
+// maybeJoin performs the one-shot round synchronization of
+// Config.JoinCurrentRound: on the first message, jump both round counters
+// to the peer's frontier so the rejoined incarnation's ALIVEs count toward
+// its peers' current rounds again.
+func (n *Node) maybeJoin(rn int64) {
+	if n.joined || !n.cfg.JoinCurrentRound {
+		return
+	}
+	n.joined = true
+	if rn > n.rRN {
+		n.rRN = rn
+	}
+	if rn > n.sRN {
+		n.sRN = rn
 	}
 }
 
@@ -198,7 +253,7 @@ func (n *Node) onAlive(from proc.ID, m *wire.Alive) {
 	}
 	// Line 6: record reception unless the round is already over.
 	if m.RN >= n.rRN {
-		n.recFromRow(m.RN).Add(from)
+		n.recFromRow(m.RN).Rec.Add(from)
 		n.checkGuard()
 	} else {
 		n.metrics.LateAlive++
@@ -208,22 +263,17 @@ func (n *Node) onAlive(from proc.ID, m *wire.Alive) {
 // onSuspicion handles lines 13-18 including the variant-specific tests.
 func (n *Node) onSuspicion(from proc.ID, m *wire.Suspicion) {
 	n.noteRound(m.RN)
-	rep := n.suspReported[m.RN]
-	if rep == nil {
-		rep = bitset.New(n.cfg.N)
-		n.suspReported[m.RN] = rep
+	row := n.win.Claim(m.RN, n.rRN, n.prunedBelow)
+	if !row.SuspLive {
+		row.BeginSusp()
 	}
-	if rep.Contains(from) {
+	if row.Reported.Contains(from) {
 		n.metrics.DupSuspicion++
 		return
 	}
-	rep.Add(from)
+	row.Reported.Add(from)
 
-	counts := n.suspicions[m.RN]
-	if counts == nil {
-		counts = make([]int32, n.cfg.N)
-		n.suspicions[m.RN] = counts
-	}
+	counts := row.Counts
 	m.Suspects.ForEach(func(k int) {
 		counts[k]++ // line 15
 		if int(counts[k]) < n.cfg.Alpha {
@@ -239,6 +289,13 @@ func (n *Node) onSuspicion(from proc.ID, m *wire.Suspicion) {
 		n.metrics.Increments++
 	})
 	n.prune()
+	if n.cfg.Retention != 0 && m.RN < n.prunedBelow {
+		// The row was (re)created behind an already-applied horizon by
+		// this very message; the map implementation's per-message sweep
+		// would delete it now, so the next report for this round starts
+		// from scratch again.
+		n.win.DropSusp(m.RN)
+	}
 }
 
 // windowTestOK evaluates line "*": p_k must have been suspected by >= alpha
@@ -256,8 +313,8 @@ func (n *Node) windowTestOK(rn int64, k int) bool {
 		low = 1 // rounds are numbered from 1 (see package docs)
 	}
 	for x := low; x < rn; x++ {
-		row := n.suspicions[x]
-		if row == nil || int(row[k]) < n.cfg.Alpha {
+		row := n.win.Get(x)
+		if row == nil || !row.SuspLive || int(row.Counts[k]) < n.cfg.Alpha {
 			return false
 		}
 	}
@@ -291,19 +348,23 @@ func (n *Node) checkGuard() {
 			return
 		}
 		row := n.recFromRow(n.rRN)
-		if row.Count() < n.cfg.Alpha {
+		if row.Rec.Count() < n.cfg.Alpha {
 			return
 		}
-		// Line 9: suspects are the processes not heard from.
-		suspects := row.Complement()
+		// Line 9: suspects are the processes not heard from. The set
+		// rides a pooled payload (recycled by the transport after its
+		// last delivery), computed in place — no per-round clone.
+		sus := n.suspPool.Get(n.cfg.N)
+		sus.RN = n.rRN
+		sus.Suspects.ComplementFrom(row.Rec)
 		// Line 10: tell everybody, including ourselves.
 		n.metrics.SuspicionsSent++
-		proc.BroadcastAll(n.env, &wire.Suspicion{RN: n.rRN, Suspects: suspects})
+		proc.BroadcastAll(n.env, sus)
 		// Line 11: re-arm the timer from the suspicion levels.
 		n.armRoundTimer(n.roundTimeout())
 		// Line 12: move to the next receiving round; the completed
 		// round's reception row is dead (line 6 discards late ALIVEs).
-		delete(n.recFrom, n.rRN)
+		n.win.CompleteRec(n.rRN)
 		n.rRN++
 		n.metrics.RoundsDone++
 	}
@@ -343,13 +404,12 @@ func (n *Node) armRoundTimer(d time.Duration) {
 	n.env.SetTimer(TimerRound, d)
 }
 
-// recFromRow returns rec_from_i[rn], creating it (as {i}) on first use.
-func (n *Node) recFromRow(rn int64) *bitset.Set {
-	row := n.recFrom[rn]
-	if row == nil {
-		row = bitset.New(n.cfg.N)
-		row.Add(n.env.ID())
-		n.recFrom[rn] = row
+// recFromRow returns the row holding rec_from_i[rn], creating it (as {i})
+// on first use.
+func (n *Node) recFromRow(rn int64) *rounds.Row {
+	row := n.win.Claim(rn, n.rRN, n.prunedBelow)
+	if !row.RecLive {
+		row.BeginRec(n.env.ID())
 	}
 	return row
 }
@@ -382,23 +442,9 @@ func (n *Node) prune() {
 		return
 	}
 	horizon := n.maxRoundSeen - n.cfg.Retention
-	if horizon <= 0 {
+	if horizon <= n.prunedBelow {
 		return
 	}
-	// Maps are small (bounded by in-flight rounds); a scan is fine.
-	for rn := range n.suspicions {
-		if rn < horizon {
-			delete(n.suspicions, rn)
-		}
-	}
-	for rn := range n.suspReported {
-		if rn < horizon {
-			delete(n.suspReported, rn)
-		}
-	}
-	for rn := range n.recFrom {
-		if rn < horizon && rn < n.rRN {
-			delete(n.recFrom, rn)
-		}
-	}
+	n.prunedBelow = horizon
+	n.win.Prune(n.rRN, horizon)
 }

@@ -498,11 +498,8 @@ func TestRetentionPrunes(t *testing.T) {
 	for rn := int64(1); rn <= 100; rn++ {
 		feedSuspicion(n, rn, 3, 0, 1, 2)
 	}
-	if len(n.suspicions) > 12 {
-		t.Fatalf("suspicions rows = %d, want <= 12 with Retention=10", len(n.suspicions))
-	}
-	if len(n.suspReported) > 12 {
-		t.Fatalf("suspReported rows = %d", len(n.suspReported))
+	if got := n.win.SuspRounds(); got > 12 {
+		t.Fatalf("suspicion rounds tracked = %d, want <= 12 with Retention=10", got)
 	}
 }
 
@@ -511,8 +508,8 @@ func TestNoRetentionKeepsAll(t *testing.T) {
 	for rn := int64(1); rn <= 50; rn++ {
 		feedSuspicion(n, rn, 3, 0)
 	}
-	if len(n.suspicions) != 50 {
-		t.Fatalf("suspicions rows = %d, want 50", len(n.suspicions))
+	if got := n.win.SuspRounds(); got != 50 {
+		t.Fatalf("suspicion rounds tracked = %d, want 50", got)
 	}
 }
 

@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// TestChurnPresetElectsAmongSurvivors runs the churn preset end to end: the
+// rotating crash/restart schedule must execute (restarts actually bring
+// processes back), leadership must settle on a never-crashed process, and
+// the same seed must reproduce identical domain metrics.
+func TestChurnPresetElectsAmongSurvivors(t *testing.T) {
+	cfg := ChurnConfig(ChurnSpec{N: 5, T: 2, Seed: 11, Duration: 20 * time.Second})
+	if len(cfg.Params.Restarts) == 0 {
+		t.Fatal("preset scheduled no restarts")
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Stabilized {
+		t.Fatalf("churn run did not stabilize: %+v", res.Report)
+	}
+	// The center (0) never churns and must be electable; the agreed
+	// leader must be a never-crashed process — under this preset's full
+	// rotation that means the center itself.
+	if res.Report.Leader != 0 {
+		t.Fatalf("leader = %d, want the never-crashed center 0", res.Report.Leader)
+	}
+	// Rebooting peers force the late/skewed paths: the survivors keep
+	// discarding the rebooted processes' ancient ALIVEs.
+	var lateAlive uint64
+	for _, m := range res.CoreMetrics {
+		lateAlive += m.LateAlive
+	}
+	if lateAlive == 0 {
+		t.Fatal("churn produced no late ALIVEs (round skew not exercised)")
+	}
+
+	res2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := domainSignature(res), domainSignature(res2); a != b {
+		t.Errorf("churn run not deterministic:\n run1: %s\n run2: %s", a, b)
+	}
+}
+
+// TestChurnScheduleValidation covers the resilience sweep for churn
+// schedules.
+func TestChurnScheduleValidation(t *testing.T) {
+	base := scenario.Params{N: 4, T: 1}
+	// Overlapping downtimes of two processes exceed T=1.
+	bad := base
+	bad.Crashes = []scenario.Crash{{ID: 1, At: 1e9}, {ID: 2, At: 15e8}}
+	bad.Restarts = []scenario.Restart{{ID: 1, At: 2e9}, {ID: 2, At: 25e8}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("overlapping downtimes accepted")
+	}
+	// Sequential churn of the same two processes is fine.
+	good := base
+	good.Crashes = []scenario.Crash{{ID: 1, At: 1e9}, {ID: 2, At: 3e9}}
+	good.Restarts = []scenario.Restart{{ID: 1, At: 2e9}, {ID: 2, At: 4e9}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("sequential churn rejected: %v", err)
+	}
+	// A restart without a crash is a schedule bug.
+	orphan := base
+	orphan.Restarts = []scenario.Restart{{ID: 1, At: 1e9}}
+	if err := orphan.Validate(); err == nil {
+		t.Fatal("orphan restart accepted")
+	}
+	// Re-crash without an intervening restart is a schedule bug.
+	double := base
+	double.Crashes = []scenario.Crash{{ID: 1, At: 1e9}, {ID: 1, At: 2e9}}
+	double.Restarts = []scenario.Restart{{ID: 1, At: 3e9}}
+	if err := double.Validate(); err == nil {
+		t.Fatal("double crash accepted")
+	}
+}

@@ -82,8 +82,12 @@ func RunConsensus(cfg ConsensusConfig) (*ConsensusResult, error) {
 	omegas := make([]*core.Node, p.N)
 	cons := make([]*consensus.Node, p.N)
 	firstLearn := make(map[int64]sim.Time)
-	for id := 0; id < p.N; id++ {
-		omega, err := core.NewNode(id, core.Config{N: p.N, T: p.T, Variant: cfg.Variant})
+	// build assembles one process's Ω+consensus pair behind a Mux; churned
+	// incarnations (rejoin) adopt their peers' round frontier.
+	build := func(id proc.ID, rejoin bool) (proc.Node, error) {
+		omega, err := core.NewNode(id, core.Config{
+			N: p.N, T: p.T, Variant: cfg.Variant, JoinCurrentRound: rejoin,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -104,6 +108,13 @@ func RunConsensus(cfg ConsensusConfig) (*ConsensusResult, error) {
 		mux.AddLane(cn)
 		omegas[id] = omega
 		cons[id] = cn
+		return mux, nil
+	}
+	for id := 0; id < p.N; id++ {
+		mux, err := build(id, false)
+		if err != nil {
+			return nil, err
+		}
 		net.Register(id, mux)
 		net.StartAt(id, 0)
 	}
@@ -133,6 +144,16 @@ func RunConsensus(cfg ConsensusConfig) (*ConsensusResult, error) {
 	for _, c := range sc.Crashes {
 		net.CrashAt(c.ID, c.At)
 	}
+	for _, r := range sc.Restarts {
+		id := r.ID
+		net.RestartAt(id, r.At, func() proc.Node {
+			mux, err := build(id, true)
+			if err != nil {
+				panic(fmt.Sprintf("harness: rebuilding process %d: %v", id, err))
+			}
+			return mux
+		})
+	}
 
 	sched.After(cfg.ProposeAt, func() {
 		for inst := 0; inst < cfg.Instances; inst++ {
@@ -152,7 +173,9 @@ func RunConsensus(cfg ConsensusConfig) (*ConsensusResult, error) {
 		decidedEverywhere := true
 		seen := false
 		for id, c := range cons {
-			if net.Crashed(id) {
+			if net.EverCrashed(id) {
+				// A churned process is faulty in the crash-stop model;
+				// Theorem 5's verdicts cover the never-crashed set.
 				continue
 			}
 			v, ok := c.Decided(int64(inst))

@@ -170,7 +170,7 @@ func Run(cfg Config) (*Result, error) {
 	oracles := make([]proc.LeaderOracle, p.N)
 	var coreNodes []*core.Node
 	for id := 0; id < p.N; id++ {
-		node, err := buildNode(cfg, sc, id)
+		node, err := buildNode(cfg, sc, id, false)
 		if err != nil {
 			return nil, err
 		}
@@ -228,15 +228,37 @@ func Run(cfg Config) (*Result, error) {
 	for _, c := range sc.Crashes {
 		net.CrashAt(c.ID, c.At)
 	}
+	// Churn: every restart brings up a fresh incarnation built like the
+	// original node; the harness's node/oracle tables follow so probes and
+	// end-of-run collection observe the live incarnation. The config was
+	// validated when the initial nodes were built, so the factory cannot
+	// fail.
+	for _, r := range sc.Restarts {
+		id := r.ID
+		net.RestartAt(id, r.At, func() proc.Node {
+			node, err := buildNode(cfg, sc, id, true)
+			if err != nil {
+				panic(fmt.Sprintf("harness: rebuilding node %d: %v", id, err))
+			}
+			nodes[id] = node
+			oracles[id] = node.(proc.LeaderOracle)
+			return node
+		})
+	}
 
 	res := &Result{Config: cfg, Sc: sc, BoundOK: true, TimeoutsStable: true}
 
 	// Lemma 8 spread checking after every delivery (the pseudocode's
 	// statement blocks are atomic; deliveries are our state boundaries).
 	if cfg.CheckSpread && len(coreNodes) > 0 {
+		// The spread probe runs after every delivery; it reads the
+		// susp_level array through a reused scratch buffer so checking
+		// costs no allocation per event.
+		var spreadBuf []int64
 		net.OnDeliver = func(ev *netsim.Envelope) {
 			if cn, ok := nodes[ev.To].(*core.Node); ok {
-				if !check.SpreadOK(cn.SuspLevel()) {
+				spreadBuf = cn.SuspLevelInto(spreadBuf)
+				if !check.SpreadOK(spreadBuf) {
 					res.SpreadViolations++
 				}
 			}
@@ -248,6 +270,7 @@ func Run(cfg Config) (*Result, error) {
 	bounds := check.NewBoundTracker(p.N)
 	var samples []check.LeaderSample
 	timeoutSeries := make([][]time.Duration, p.N)
+	var levelBuf []int64 // scratch for the per-sample bound observation
 	var sample func()
 	sample = func() {
 		ls := check.LeaderSample{At: sched.Now(), Leaders: make([]proc.ID, p.N)}
@@ -258,7 +281,8 @@ func Run(cfg Config) (*Result, error) {
 			}
 			ls.Leaders[id] = oracles[id].Leader()
 			if cn, ok := nodes[id].(*core.Node); ok {
-				bounds.Observe(cn.SuspLevel())
+				levelBuf = cn.SuspLevelInto(levelBuf)
+				bounds.Observe(levelBuf)
 				timeoutSeries[id] = append(timeoutSeries[id], cn.CurrentTimeout())
 			}
 		}
@@ -282,8 +306,10 @@ func Run(cfg Config) (*Result, error) {
 	res.Elapsed = time.Since(wallStart)
 	res.Events = sched.Processed
 
-	// Gather verdicts.
-	res.Report = check.AnalyzeLeaders(samples, func(id proc.ID) bool { return !net.Crashed(id) })
+	// Gather verdicts. "Correct" means never crashed: a process that
+	// crashed and was churned back is faulty in the crash-stop model, so
+	// eventual leadership is owed only to the never-crashed set.
+	res.Report = check.AnalyzeLeaders(samples, func(id proc.ID) bool { return !net.EverCrashed(id) })
 	if cfg.KeepTimeline {
 		res.Timeline = samples
 	}
@@ -306,7 +332,7 @@ func Run(cfg Config) (*Result, error) {
 			res.CoreMetrics[id] = cn.Metrics()
 			res.FinalLevels[id] = cn.SuspLevel()
 			res.FinalTimeouts[id] = cn.CurrentTimeout()
-			if !net.Crashed(id) && !check.TimeoutStable(timeoutSeries[id], 0.25) {
+			if !net.EverCrashed(id) && !check.TimeoutStable(timeoutSeries[id], 0.25) {
 				res.TimeoutsStable = false
 			}
 			if _, r := cn.Rounds(); r-1 > res.RoundsDone {
@@ -317,8 +343,10 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// buildNode constructs the algorithm instance for one process.
-func buildNode(cfg Config, sc *scenario.Scenario, id proc.ID) (proc.Node, error) {
+// buildNode constructs the algorithm instance for one process. rejoin marks
+// a churned incarnation, which must adopt its peers' round frontier instead
+// of counting from 1 (see core.Config.JoinCurrentRound).
+func buildNode(cfg Config, sc *scenario.Scenario, id proc.ID, rejoin bool) (proc.Node, error) {
 	p := sc.Params
 	switch cfg.Algo {
 	case AlgoFig1, AlgoFig2, AlgoFig3, AlgoFG:
@@ -328,10 +356,11 @@ func buildNode(cfg Config, sc *scenario.Scenario, id proc.ID) (proc.Node, error)
 		}
 		ccfg := core.Config{
 			N: p.N, T: p.T, Alpha: p.Alpha,
-			Variant:     variant,
-			AlivePeriod: cfg.AlivePeriod,
-			TimeoutUnit: cfg.TimeoutUnit,
-			Retention:   cfg.Retention,
+			Variant:          variant,
+			AlivePeriod:      cfg.AlivePeriod,
+			TimeoutUnit:      cfg.TimeoutUnit,
+			Retention:        cfg.Retention,
+			JoinCurrentRound: rejoin,
 		}
 		if variant == core.VariantFG {
 			// §7: the algorithm knows f and g (the scenario's).

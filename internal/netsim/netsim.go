@@ -30,6 +30,12 @@
 //     (OnDeliver, gates, delay policies) must therefore not retain an
 //     *Envelope past the callback unless they hold it under the Gate
 //     contract; copy the fields instead.
+//   - Pooled payloads (wire.Recyclable) are reference-counted by the
+//     network: one reference per send, released when that copy's delivery
+//     or drop completes, so a broadcast payload returns to its sender's
+//     pool exactly when its last recipient is done with it. Receivers must
+//     not retain payload pointers past OnMessage — the rule the repository
+//     has always had ("immutable by convention once sent").
 //   - A message arriving before its receiver's (staggered) start is buffered
 //     per process in arrival order and flushed synchronously when the
 //     process starts — reliable-link semantics without redelivery polling.
@@ -111,6 +117,7 @@ const (
 	evTimer                    // a = packTimer(process, key)
 	evStart                    // a = process id
 	evCrash                    // a = process id
+	evRestart                  // a = process id, p = func() proc.Node
 )
 
 func packTimer(id proc.ID, key proc.TimerKey) uint64 {
@@ -126,17 +133,18 @@ func unpackTimer(a uint64) (proc.ID, proc.TimerKey) {
 
 // Network simulates the complete system: processes plus links.
 type Network struct {
-	sched    *sim.Scheduler
-	rand     *sim.Rand
-	policy   DelayPolicy
-	gate     Gate
-	nodes    []proc.Node
-	envs     []*env
-	crashed  []bool
-	started  []bool
-	preStart [][]*Envelope // messages arrived before the receiver started
-	nextSeq  uint64
-	stats    Stats
+	sched       *sim.Scheduler
+	rand        *sim.Rand
+	policy      DelayPolicy
+	gate        Gate
+	nodes       []proc.Node
+	envs        []*env
+	crashed     []bool
+	everCrashed []bool
+	started     []bool
+	preStart    [][]*Envelope // messages arrived before the receiver started
+	nextSeq     uint64
+	stats       Stats
 
 	// envFree is the envelope free list; chainBuf is the reusable BFS
 	// queue of deliverChain. Both exist to keep the delivery hot path
@@ -170,15 +178,16 @@ func New(sched *sim.Scheduler, cfg Config) (*Network, error) {
 		return nil, fmt.Errorf("netsim: Config.Policy is required")
 	}
 	n := &Network{
-		sched:    sched,
-		rand:     sim.NewRand(cfg.Seed ^ 0x6e657473696d2121),
-		policy:   cfg.Policy,
-		gate:     cfg.Gate,
-		nodes:    make([]proc.Node, cfg.N),
-		envs:     make([]*env, cfg.N),
-		crashed:  make([]bool, cfg.N),
-		started:  make([]bool, cfg.N),
-		preStart: make([][]*Envelope, cfg.N),
+		sched:       sched,
+		rand:        sim.NewRand(cfg.Seed ^ 0x6e657473696d2121),
+		policy:      cfg.Policy,
+		gate:        cfg.Gate,
+		nodes:       make([]proc.Node, cfg.N),
+		envs:        make([]*env, cfg.N),
+		crashed:     make([]bool, cfg.N),
+		everCrashed: make([]bool, cfg.N),
+		started:     make([]bool, cfg.N),
+		preStart:    make([][]*Envelope, cfg.N),
 	}
 	for i := 0; i < cfg.N; i++ {
 		n.envs[i] = &env{net: n, id: i, timers: make(map[proc.TimerKey]sim.EventID)}
@@ -195,18 +204,35 @@ func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
 // Stats returns a snapshot of the network counters.
 func (n *Network) Stats() Stats { return n.stats }
 
-// getEnvelope pops a recycled envelope or allocates a fresh one.
+// envBlock is how many envelopes a free-list refill allocates at once. The
+// in-flight population is not bounded — an order adversary can legally hold
+// an ever-growing backlog against a diverging algorithm — so refills are
+// batched to keep envelope allocations O(peak/envBlock) instead of O(peak).
+const envBlock = 64
+
+// getEnvelope pops a recycled envelope, refilling the free list in blocks.
 func (n *Network) getEnvelope() *Envelope {
-	if k := len(n.envFree); k > 0 {
-		ev := n.envFree[k-1]
-		n.envFree = n.envFree[:k-1]
-		return ev
+	if len(n.envFree) == 0 {
+		block := make([]Envelope, envBlock)
+		for i := range block {
+			n.envFree = append(n.envFree, &block[i])
+		}
 	}
-	return &Envelope{}
+	k := len(n.envFree)
+	ev := n.envFree[k-1]
+	n.envFree = n.envFree[:k-1]
+	return ev
 }
 
 // putEnvelope returns a fully-delivered (or dropped) envelope to the pool.
+// This is the payload recycle point: every consumed envelope accounts for
+// exactly one transport reference on its payload (taken in send), so pooled
+// payloads return to their owner's free list here, after every observer
+// (gate, OnDeliver) ran for this delivery.
 func (n *Network) putEnvelope(ev *Envelope) {
+	if r, ok := ev.Payload.(wire.Recyclable); ok {
+		r.Recycle()
+	}
 	*ev = Envelope{}
 	n.envFree = append(n.envFree, ev)
 }
@@ -270,6 +296,7 @@ func (n *Network) crashNow(id proc.ID) {
 		return
 	}
 	n.crashed[id] = true
+	n.everCrashed[id] = true
 	// Disarm all of the process's timers.
 	for key, ev := range n.envs[id].timers {
 		n.sched.Cancel(ev)
@@ -289,8 +316,43 @@ func (n *Network) crashNow(id proc.ID) {
 	}
 }
 
-// Crashed reports whether process id has crashed.
+// Crashed reports whether process id is currently crashed (down).
 func (n *Network) Crashed(id proc.ID) bool { return n.crashed[id] }
+
+// EverCrashed reports whether process id has crashed at any point, even if a
+// later RestartAt brought a fresh incarnation up. Correctness checkers use
+// this: in the crash-stop model a crash-recovery process is faulty, so
+// eventual leadership is owed only to the never-crashed set.
+func (n *Network) EverCrashed(id proc.ID) bool { return n.everCrashed[id] }
+
+// RestartAt schedules a fresh incarnation of process id at virtual time at:
+// factory builds the replacement node (with empty state — this is churn in a
+// crash-stop world, not crash-recovery with stable storage) and the network
+// starts it immediately. Restarting a process that is not down at that time
+// is a no-op. Messages that were in flight to the process across its downtime
+// are delivered to the new incarnation if they arrive after at; messages that
+// arrived while it was down were dropped, exactly like deliveries to any
+// crashed process.
+func (n *Network) RestartAt(id proc.ID, at sim.Time, factory func() proc.Node) {
+	if factory == nil {
+		panic("netsim: RestartAt with nil factory")
+	}
+	n.sched.AtTyped(at, n, evRestart, uint64(uint32(id)), factory)
+}
+
+func (n *Network) restartNow(id proc.ID, factory func() proc.Node) {
+	if !n.crashed[id] {
+		return
+	}
+	node := factory()
+	if node == nil {
+		panic("netsim: restart factory returned nil node")
+	}
+	n.crashed[id] = false
+	n.started[id] = false
+	n.nodes[id] = node
+	n.startNow(id)
+}
 
 // Correct returns the ids of processes that have not crashed (so far).
 func (n *Network) Correct() []proc.ID {
@@ -324,6 +386,8 @@ func (n *Network) OnSimEvent(kind uint8, a uint64, p any) {
 		n.startNow(proc.ID(uint32(a)))
 	case evCrash:
 		n.crashNow(proc.ID(uint32(a)))
+	case evRestart:
+		n.restartNow(proc.ID(uint32(a)), p.(func() proc.Node))
 	default:
 		panic(fmt.Sprintf("netsim: unknown event kind %d", kind))
 	}
@@ -345,6 +409,11 @@ func (n *Network) send(from, to proc.ID, msg any) {
 	ev.Payload = msg
 	ev.SentAt = n.sched.Now()
 	n.stats.Sent++
+	// One transport reference per send; released in putEnvelope when this
+	// copy's delivery (or drop) completes. See wire's pooling contract.
+	if r, ok := msg.(wire.Recyclable); ok {
+		r.Retain()
+	}
 	if wm, ok := msg.(wire.Message); ok {
 		// A kind >= wire.KindCount panics here: better a loud index error
 		// than per-kind tables that silently stop summing to the totals.

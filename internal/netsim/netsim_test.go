@@ -393,7 +393,8 @@ func TestPreStartBufferDroppedOnCrash(t *testing.T) {
 
 func TestEnvelopePoolSteadyStateDoesNotGrow(t *testing.T) {
 	// After a burst settles, subsequent traffic reuses pooled envelopes:
-	// the free list stops growing once it covers the in-flight peak.
+	// the free list stops growing once it covers the in-flight peak
+	// (rounded up to the envBlock refill granularity).
 	net, nodes, sched := newTestNet(t, 2, constDelay(time.Millisecond), nil)
 	sched.RunFor(time.Millisecond)
 	for round := 0; round < 5; round++ {
@@ -402,8 +403,8 @@ func TestEnvelopePoolSteadyStateDoesNotGrow(t *testing.T) {
 		}
 		sched.RunFor(10 * time.Millisecond)
 	}
-	if got := len(net.envFree); got > 10 {
-		t.Errorf("free list grew to %d envelopes; want <= burst size 10", got)
+	if got := len(net.envFree); got > envBlock {
+		t.Errorf("free list grew to %d envelopes; want <= one refill block (%d)", got, envBlock)
 	}
 	if len(nodes[1].received) != 50 {
 		t.Fatalf("received %d, want 50", len(nodes[1].received))
@@ -419,5 +420,88 @@ func TestOnCrashHook(t *testing.T) {
 	sched.RunFor(time.Second)
 	if crashedID != 1 || at != sim.Time(7*time.Millisecond) {
 		t.Fatalf("crash hook: id=%d at=%v", crashedID, at)
+	}
+}
+
+// TestPooledPayloadRecycledAfterLastDelivery verifies the payload recycle
+// point: a pooled message broadcast to several receivers returns to its pool
+// only after the last copy is consumed, including drops at crashed receivers.
+func TestPooledPayloadRecycledAfterLastDelivery(t *testing.T) {
+	net, nodes, sched := newTestNet(t, 3, constDelay(time.Millisecond), nil)
+	sched.RunFor(time.Millisecond)
+
+	var pool wire.HeartbeatPool
+	hb := pool.Get()
+	hb.Seq = 9
+	nodes[0].env.Send(1, hb)
+	nodes[0].env.Send(2, hb)
+	if got := pool.Get(); got == hb {
+		t.Fatal("payload recycled while copies are in flight")
+	}
+	sched.RunFor(time.Second)
+	if got := pool.Get(); got != hb {
+		t.Fatal("payload not recycled after last delivery")
+	}
+	if len(nodes[1].received) != 1 || len(nodes[2].received) != 1 {
+		t.Fatalf("deliveries = %d/%d", len(nodes[1].received), len(nodes[2].received))
+	}
+
+	// A copy dropped at a crashed receiver also releases its reference.
+	hb2 := pool.Get()
+	hb2.Seq = 10
+	net.CrashAt(2, sched.Now())
+	sched.RunFor(time.Millisecond / 2)
+	nodes[0].env.Send(1, hb2)
+	nodes[0].env.Send(2, hb2) // will be dropped
+	sched.RunFor(time.Second)
+	if got := pool.Get(); got != hb2 {
+		t.Fatal("drop at crashed receiver did not release the payload")
+	}
+}
+
+// TestRestartBringsFreshIncarnation covers the churn primitive: a crashed
+// process restarted with a fresh node receives again, EverCrashed stays
+// true, and restarting a live process is a no-op.
+func TestRestartBringsFreshIncarnation(t *testing.T) {
+	net, nodes, sched := newTestNet(t, 2, constDelay(time.Millisecond), nil)
+	sched.RunFor(time.Millisecond)
+
+	net.CrashAt(1, sched.Now())
+	sched.RunFor(time.Millisecond)
+	nodes[0].env.Send(1, &wire.Heartbeat{Seq: 1}) // dropped: receiver down
+	sched.RunFor(10 * time.Millisecond)
+	if got := net.Stats().Dropped; got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+
+	fresh := &echoNode{}
+	net.RestartAt(1, sched.Now(), func() proc.Node {
+		nodes[1] = fresh
+		return fresh
+	})
+	sched.RunFor(time.Millisecond)
+	if net.Crashed(1) {
+		t.Fatal("process still down after restart")
+	}
+	if !net.EverCrashed(1) {
+		t.Fatal("EverCrashed forgotten by restart")
+	}
+	if fresh.env == nil {
+		t.Fatal("fresh incarnation not started")
+	}
+	nodes[0].env.Send(1, &wire.Heartbeat{Seq: 2})
+	sched.RunFor(10 * time.Millisecond)
+	if len(fresh.received) != 1 {
+		t.Fatalf("fresh incarnation received %d messages, want 1", len(fresh.received))
+	}
+
+	// Restarting a live process must be a no-op.
+	net.RestartAt(1, sched.Now(), func() proc.Node {
+		t.Error("factory invoked for a live process")
+		return &echoNode{}
+	})
+	sched.RunFor(time.Millisecond)
+	if net.Node(1) != fresh {
+		t.Fatal("live process replaced by restart")
 	}
 }

@@ -88,10 +88,14 @@ var (
 )
 
 // laneEnv scopes an Env to one lane: sends wrap messages in envelopes and
-// timer keys are shifted into the lane's partition.
+// timer keys are shifted into the lane's partition. Envelopes come from a
+// per-lane pool; a transport that tracks delivery completion (netsim)
+// recycles each envelope — and, through it, the wrapped message — when its
+// copy is consumed.
 type laneEnv struct {
 	mux  *Mux
 	lane uint8
+	pool wire.MuxPool
 }
 
 func (e *laneEnv) ID() ID             { return e.mux.env.ID() }
@@ -103,7 +107,9 @@ func (e *laneEnv) Send(to ID, msg any) {
 	if !ok {
 		panic(fmt.Sprintf("proc: lane %d sent non-wire message %T", e.lane, msg))
 	}
-	e.mux.env.Send(to, &wire.Mux{Lane: e.lane, Inner: wm})
+	env := e.pool.Get()
+	env.Lane, env.Inner = e.lane, wm
+	e.mux.env.Send(to, env)
 }
 
 func (e *laneEnv) SetTimer(key TimerKey, d time.Duration) {

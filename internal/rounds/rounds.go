@@ -1,0 +1,338 @@
+// Package rounds provides the round-indexed bookkeeping store shared by the
+// protocol layers (internal/core, internal/baseline): for each receiving
+// round rn a process tracks who it heard an ALIVE from (rec_from), how many
+// distinct processes reported suspecting each peer (suspicions), and which
+// senders' SUSPICION has already been counted (dedup hardening).
+//
+// The paper's pseudocode indexes these by an unbounded round number, and the
+// seed implementation stored them in three round-keyed maps — one map insert
+// per row, one delete per completed round, and a map sweep per prune. But
+// the paper's own structure bounds the set of rounds that are *hot*: the
+// window test only consults rounds in [rn - susp_level[k] - F(rn), rn), and
+// messages arrive within a bounded skew of the round frontier in every
+// non-adversarial execution. So the store is a fixed-size ring of W rows
+// indexed by rn mod W, with rows recycled in place as the frontier advances:
+// the steady-state hot path performs no map operation and no allocation.
+//
+// Exactness is preserved by an overflow map: a row evicted from the ring
+// while its data could still be consulted (a live rec_from at or ahead of
+// the receiving round, or suspicion counters inside the retention horizon)
+// is copied out rather than dropped, and rounds whose slot is owned by a
+// newer round are served from the overflow map. Late or far-future messages
+// therefore observe byte-identical state to the map implementation; only
+// the storage changed. Evictions and overflow hits are counted so that
+// experiments can verify the ring is actually absorbing the workload
+// (Stats), and pathological round skew degrades to the seed's map behaviour
+// instead of breaking.
+package rounds
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+)
+
+// DefaultSlots is the ring width used when a caller passes 0: it covers the
+// deepest window test any bounded variant performs (susp_level <= B+1 with
+// B ~ the intermittence gap D, plus F slack) and the round skew of every
+// non-adversarial delay policy, with a comfortable margin.
+const DefaultSlots = 64
+
+// Row is the bookkeeping for one receiving round. A row's parts are created
+// lazily and recycled in place; the Live flags say which parts currently
+// hold data for RN.
+type Row struct {
+	// RN is the round this row currently holds (0 = empty slot).
+	RN int64
+	// Rec is rec_from[RN]: senders whose round-RN ALIVE was received in
+	// time, always including the process itself. Valid when RecLive.
+	Rec *bitset.Set
+	// Counts is suspicions[RN]: per-target distinct-reporter counts.
+	// Valid when SuspLive.
+	Counts []int32
+	// Reported records which senders' SUSPICION(RN) was already counted.
+	// Valid when SuspLive.
+	Reported *bitset.Set
+
+	RecLive  bool
+	SuspLive bool
+}
+
+// ensure allocates missing parts on first use (they are retained and
+// recycled for every later round the slot serves). Parts are checked
+// individually: eviction copies only the live parts into overflow rows, so
+// a row can re-enter service with some parts still nil.
+func (r *Row) ensure(n int) {
+	if r.Rec == nil {
+		r.Rec = bitset.New(n)
+	}
+	if r.Counts == nil {
+		r.Counts = make([]int32, n)
+	}
+	if r.Reported == nil {
+		r.Reported = bitset.New(n)
+	}
+}
+
+// BeginRec initializes the rec_from part as {self}.
+func (r *Row) BeginRec(self int) {
+	r.Rec.Clear()
+	r.Rec.Add(self)
+	r.RecLive = true
+}
+
+// BeginSusp initializes the suspicion parts (zero counts, nobody reported).
+func (r *Row) BeginSusp() {
+	for i := range r.Counts {
+		r.Counts[i] = 0
+	}
+	r.Reported.Clear()
+	r.SuspLive = true
+}
+
+// Stats counts how the ring behaved; all counters are monotone.
+type Stats struct {
+	// Evictions counts rows whose still-consultable data was copied to
+	// the overflow map because a newer round claimed their slot.
+	Evictions uint64
+	// OverflowHits counts lookups and claims served by the overflow map
+	// instead of the ring (out-of-window rounds).
+	OverflowHits uint64
+}
+
+// Window is the ring-plus-overflow store. It is not safe for concurrent
+// use; in this repository every Window is owned by a single (simulated)
+// process, like all protocol state.
+type Window struct {
+	n     int
+	mask  int64
+	slots []Row
+	// overflow holds rows for rounds that lost (or never contended for)
+	// their ring slot. Nil until first needed: in the common case it is
+	// never allocated at all.
+	overflow map[int64]*Row
+	stats    Stats
+}
+
+// New creates a window over rounds for a system of n processes. slots is
+// rounded up to a power of two; 0 means DefaultSlots.
+func New(n, slots int) *Window {
+	if n <= 0 {
+		panic(fmt.Sprintf("rounds: non-positive universe %d", n))
+	}
+	if slots <= 0 {
+		slots = DefaultSlots
+	}
+	w := 1
+	for w < slots {
+		w <<= 1
+	}
+	return &Window{n: n, mask: int64(w - 1), slots: make([]Row, w)}
+}
+
+// Stats returns a snapshot of the ring counters.
+func (w *Window) Stats() Stats { return w.stats }
+
+// Get returns the row currently holding round rn, or nil. It never creates
+// or evicts anything.
+func (w *Window) Get(rn int64) *Row {
+	s := &w.slots[rn&w.mask]
+	if s.RN == rn {
+		return s
+	}
+	if w.overflow == nil {
+		return nil
+	}
+	if r := w.overflow[rn]; r != nil {
+		w.stats.OverflowHits++
+		return r
+	}
+	return nil
+}
+
+// Claim returns the row for round rn, creating storage for it if needed.
+// recDeadBelow and suspDeadBelow are the liveness horizons used when a slot
+// must be evicted: a resident row's rec part is dead below recDeadBelow
+// (the current receiving round — line 6 discards late ALIVEs) and its
+// suspicion parts are dead below suspDeadBelow (the retention horizon; pass
+// 1 to keep everything, the paper-faithful default). The returned row has
+// RN == rn; its Live flags tell the caller which parts already hold data.
+func (w *Window) Claim(rn int64, recDeadBelow, suspDeadBelow int64) *Row {
+	s := &w.slots[rn&w.mask]
+	if s.RN == rn {
+		return s
+	}
+	if s.RN > rn {
+		// The slot is owned by a newer round: serve rn from overflow.
+		return w.overflowRow(rn)
+	}
+	if r := w.lookupOverflow(rn); r != nil {
+		// rn was evicted earlier; keep serving it from overflow (moving
+		// it back would just evict the resident).
+		w.stats.OverflowHits++
+		r.ensure(w.n)
+		return r
+	}
+	w.evict(s, recDeadBelow, suspDeadBelow)
+	s.ensure(w.n)
+	s.RN = rn
+	s.RecLive = false
+	s.SuspLive = false
+	return s
+}
+
+func (w *Window) lookupOverflow(rn int64) *Row {
+	if w.overflow == nil {
+		return nil
+	}
+	return w.overflow[rn]
+}
+
+// overflowRow returns (creating if absent) the overflow row for rn.
+func (w *Window) overflowRow(rn int64) *Row {
+	w.stats.OverflowHits++
+	if w.overflow == nil {
+		w.overflow = make(map[int64]*Row)
+	}
+	r := w.overflow[rn]
+	if r == nil {
+		r = &Row{RN: rn}
+		w.overflow[rn] = r
+	}
+	r.ensure(w.n)
+	return r
+}
+
+// evict moves the slot's still-consultable data to the overflow map; data
+// below the caller's horizons is dropped, matching exactly what the map
+// implementation's deletes would have made unobservable.
+func (w *Window) evict(s *Row, recDeadBelow, suspDeadBelow int64) {
+	if s.RN == 0 {
+		return
+	}
+	keepRec := s.RecLive && s.RN >= recDeadBelow
+	keepSusp := s.SuspLive && s.RN >= suspDeadBelow
+	if !keepRec && !keepSusp {
+		return
+	}
+	w.stats.Evictions++
+	if w.overflow == nil {
+		w.overflow = make(map[int64]*Row)
+	}
+	o := &Row{RN: s.RN}
+	if keepRec {
+		o.Rec = s.Rec.Clone()
+		o.RecLive = true
+	}
+	if keepSusp {
+		o.Counts = append([]int32(nil), s.Counts...)
+		o.Reported = s.Reported.Clone()
+		o.SuspLive = true
+	}
+	w.overflow[s.RN] = o
+}
+
+// CompleteRec marks round rn's rec_from row dead (the round completed; late
+// ALIVEs for it are discarded). Overflow rows left with no live part are
+// released.
+func (w *Window) CompleteRec(rn int64) {
+	s := &w.slots[rn&w.mask]
+	if s.RN == rn {
+		s.RecLive = false
+		return
+	}
+	if r := w.lookupOverflow(rn); r != nil {
+		r.RecLive = false
+		if !r.SuspLive {
+			delete(w.overflow, rn)
+		}
+	}
+}
+
+// Prune drops all data below the given horizons: suspicion parts below
+// suspDeadBelow, rec parts below both recDeadBelow and suspDeadBelow (a
+// rec row at or ahead of the receiving round stays consultable regardless
+// of age, exactly like the map implementation's prune).
+func (w *Window) Prune(recDeadBelow, suspDeadBelow int64) {
+	for i := range w.slots {
+		s := &w.slots[i]
+		if s.RN == 0 || s.RN >= suspDeadBelow {
+			continue
+		}
+		s.SuspLive = false
+		if s.RN < recDeadBelow {
+			s.RecLive = false
+		}
+		if !s.RecLive {
+			s.RN = 0
+		}
+	}
+	for rn, r := range w.overflow {
+		if rn >= suspDeadBelow {
+			continue
+		}
+		r.SuspLive = false
+		if rn < recDeadBelow {
+			r.RecLive = false
+		}
+		if !r.RecLive {
+			delete(w.overflow, rn)
+		}
+	}
+}
+
+// DropSusp discards round rn's suspicion data wherever it lives (ring or
+// overflow). Callers use it to reproduce the map implementation's
+// per-message retention sweep for rounds behind an unmoved horizon.
+func (w *Window) DropSusp(rn int64) {
+	s := &w.slots[rn&w.mask]
+	if s.RN == rn {
+		s.SuspLive = false
+		if !s.RecLive {
+			s.RN = 0
+		}
+		return
+	}
+	if r := w.lookupOverflow(rn); r != nil {
+		r.SuspLive = false
+		if !r.RecLive {
+			delete(w.overflow, rn)
+		}
+	}
+}
+
+// SuspRounds counts rounds currently holding live suspicion data (ring plus
+// overflow). It exists for tests and observability, not the hot path.
+func (w *Window) SuspRounds() int {
+	c := 0
+	for i := range w.slots {
+		if w.slots[i].RN != 0 && w.slots[i].SuspLive {
+			c++
+		}
+	}
+	for _, r := range w.overflow {
+		if r.SuspLive {
+			c++
+		}
+	}
+	return c
+}
+
+// RecRounds counts rounds currently holding a live rec_from row.
+func (w *Window) RecRounds() int {
+	c := 0
+	for i := range w.slots {
+		if w.slots[i].RN != 0 && w.slots[i].RecLive {
+			c++
+		}
+	}
+	for _, r := range w.overflow {
+		if r.RecLive {
+			c++
+		}
+	}
+	return c
+}
+
+// OverflowLen reports the overflow map's size (observability).
+func (w *Window) OverflowLen() int { return len(w.overflow) }

@@ -67,6 +67,7 @@ func AllTimely(p Params) (*Scenario, error) {
 		Params:      p,
 		Policy:      &allTimelyPolicy{params: p, stabilize: sim.Time(200 * time.Millisecond)},
 		Crashes:     p.Crashes,
+		Restarts:    p.Restarts,
 	}, nil
 }
 
@@ -166,6 +167,7 @@ func buildStar(p Params, fam Family, desc string, mk func(Params) StarSchedule) 
 		Policy:      pol,
 		Gate:        gate,
 		Crashes:     p.Crashes,
+		Restarts:    p.Restarts,
 		star:        pol,
 		gate:        gate,
 	}, nil

@@ -27,6 +27,7 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/netsim"
@@ -70,6 +71,17 @@ func (m Mode) String() string {
 
 // Crash schedules one process failure.
 type Crash struct {
+	ID proc.ID
+	At sim.Time
+}
+
+// Restart schedules one fresh incarnation of a previously crashed process
+// (the churn scenarios pair every Crash with a later Restart). The restarted
+// process starts from empty state — this is churn in a crash-stop world, not
+// crash-recovery with stable storage — so correctness checkers must treat it
+// as faulty (netsim.EverCrashed); what churn exercises is everyone ELSE's
+// bookkeeping under the adversarial round skew a rebooting peer produces.
+type Restart struct {
 	ID proc.ID
 	At sim.Time
 }
@@ -124,6 +136,9 @@ type Scenario struct {
 	Gate netsim.Gate
 	// Crashes is the crash schedule.
 	Crashes []Crash
+	// Restarts is the churn schedule (fresh incarnations of crashed
+	// processes; empty for the pure crash-stop scenarios).
+	Restarts []Restart
 
 	star *starPolicy // retained to wire probes late
 	gate *winningGate
@@ -276,6 +291,11 @@ type Params struct {
 	// Crashes is the crash schedule to attach.
 	Crashes []Crash
 
+	// Restarts schedules fresh incarnations of crashed processes (churn).
+	// Every restart must follow a crash of the same process, and at no
+	// instant may more than T processes be down simultaneously.
+	Restarts []Restart
+
 	// Tag overrides the round-tag extractor; nil means RoundTag.
 	Tag TagFunc
 }
@@ -333,8 +353,64 @@ func (p Params) Validate() error {
 			return fmt.Errorf("scenario: the star center %d must be correct", c.ID)
 		}
 	}
-	if crashed := len(p.Crashes); crashed > p.T {
-		return fmt.Errorf("scenario: %d crashes exceed T=%d", crashed, p.T)
+	for _, r := range p.Restarts {
+		if r.ID < 0 || r.ID >= p.N {
+			return fmt.Errorf("scenario: restart of invalid process %d", r.ID)
+		}
+	}
+	if len(p.Restarts) == 0 {
+		// Crash-stop only: the resilience bound is simply a count.
+		if crashed := len(p.Crashes); crashed > p.T {
+			return fmt.Errorf("scenario: %d crashes exceed T=%d", crashed, p.T)
+		}
+		return nil
+	}
+	return p.validateChurn()
+}
+
+// validateChurn sweeps the crash/restart schedule in time order and checks
+// that (1) every restart follows a crash of the same process, (2) no process
+// crashes twice without an intervening restart, and (3) at no instant are
+// more than T processes down. Ties are broken pessimistically (crashes apply
+// before restarts at the same instant).
+func (p Params) validateChurn() error {
+	type ev struct {
+		at      sim.Time
+		id      proc.ID
+		restart bool
+	}
+	evs := make([]ev, 0, len(p.Crashes)+len(p.Restarts))
+	for _, c := range p.Crashes {
+		evs = append(evs, ev{c.At, c.ID, false})
+	}
+	for _, r := range p.Restarts {
+		evs = append(evs, ev{r.At, r.ID, true})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return !evs[i].restart && evs[j].restart
+	})
+	down := make([]bool, p.N)
+	ndown := 0
+	for _, e := range evs {
+		if e.restart {
+			if !down[e.id] {
+				return fmt.Errorf("scenario: restart of process %d at %v without a prior crash", e.id, e.at)
+			}
+			down[e.id] = false
+			ndown--
+			continue
+		}
+		if down[e.id] {
+			return fmt.Errorf("scenario: process %d crashes at %v while already down", e.id, e.at)
+		}
+		down[e.id] = true
+		ndown++
+		if ndown > p.T {
+			return fmt.Errorf("scenario: %d processes down at %v exceeds T=%d", ndown, e.at, p.T)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+func TestAlivePoolRoundTrip(t *testing.T) {
+	var p AlivePool
+	a := p.Get(3)
+	if len(a.SuspLevel) != 3 {
+		t.Fatalf("SuspLevel len = %d", len(a.SuspLevel))
+	}
+	a.RN = 7
+	a.Retain()
+	a.Retain()
+	a.Recycle()
+	if b := p.Get(3); b == a {
+		t.Fatal("message recycled while references remain")
+	}
+	a.Recycle()
+	if b := p.Get(3); b != a {
+		t.Fatal("message not recycled after last reference")
+	}
+}
+
+func TestSuspicionPoolKeepsBitset(t *testing.T) {
+	var p SuspicionPool
+	s := p.Get(5)
+	s.Suspects.Add(2)
+	set := s.Suspects
+	s.Retain()
+	s.Recycle()
+	s2 := p.Get(5)
+	if s2 != s || s2.Suspects != set {
+		t.Fatal("bitset not recycled with its message")
+	}
+}
+
+func TestLiteralMessagesIgnoreRecycle(t *testing.T) {
+	// Hand-built messages (tests, Unmarshal) have no home pool; the
+	// transport's Retain/Recycle must be harmless no-ops on them.
+	m := &Alive{RN: 1, SuspLevel: []int64{0}}
+	m.Retain()
+	m.Recycle()
+	m.Recycle() // over-release must not panic either
+	s := &Suspicion{RN: 1, Suspects: bitset.New(2)}
+	s.Retain()
+	s.Recycle()
+}
+
+func TestMuxPoolPropagatesToInner(t *testing.T) {
+	var mp MuxPool
+	var ap AlivePool
+	inner := ap.Get(2)
+	// Two envelopes wrap the same inner message (a 2-recipient broadcast
+	// through a lane).
+	m1 := mp.Get()
+	m1.Lane, m1.Inner = 1, inner
+	m1.Retain()
+	m2 := mp.Get()
+	m2.Lane, m2.Inner = 1, inner
+	m2.Retain()
+
+	m1.Recycle()
+	if got := ap.Get(2); got == inner {
+		t.Fatal("inner recycled before last envelope")
+	}
+	m2.Recycle()
+	if got := ap.Get(2); got != inner {
+		t.Fatal("inner not recycled with last envelope")
+	}
+	// Both envelopes are back in the mux pool with Inner cleared.
+	e1, e2 := mp.Get(), mp.Get()
+	if e1.Inner != nil || e2.Inner != nil {
+		t.Fatal("recycled envelope retains inner")
+	}
+	if (e1 != m1 && e1 != m2) || (e2 != m1 && e2 != m2) || e1 == e2 {
+		t.Fatal("envelopes not recycled")
+	}
+}
+
+func TestConsensusPools(t *testing.T) {
+	var pp PromisePool
+	m := pp.Get()
+	m.NACK = true
+	m.Retain()
+	m.Recycle()
+	m2 := pp.Get()
+	if m2 != m {
+		t.Fatal("promise not recycled")
+	}
+	// Contents are stale by contract; callers must overwrite every field.
+	if !m2.NACK {
+		t.Fatal("pool unexpectedly cleared fields (contract says stale)")
+	}
+}

@@ -54,27 +54,40 @@ const (
 	KindCount
 )
 
-var kindNames = map[Kind]string{
-	KindAlive:      "ALIVE",
-	KindSuspicion:  "SUSPICION",
-	KindHeartbeat:  "HEARTBEAT",
-	KindAccusation: "ACCUSATION",
-	KindQuery:      "QUERY",
-	KindResponse:   "RESPONSE",
-	KindPrepare:    "PREPARE",
-	KindPromise:    "PROMISE",
-	KindAccept:     "ACCEPT",
-	KindAccepted:   "ACCEPTED",
-	KindDecide:     "DECIDE",
-	KindMux:        "MUX",
-	KindABCast:     "ABCAST",
-}
-
+// String names the kind. A switch rather than a package-level map: String
+// runs in metrics formatting and trace paths, and the map cost (hashing,
+// pointer-chasing, a live heap object) buys nothing over a jump table.
 func (k Kind) String() string {
-	if s, ok := kindNames[k]; ok {
-		return s
+	switch k {
+	case KindAlive:
+		return "ALIVE"
+	case KindSuspicion:
+		return "SUSPICION"
+	case KindHeartbeat:
+		return "HEARTBEAT"
+	case KindAccusation:
+		return "ACCUSATION"
+	case KindQuery:
+		return "QUERY"
+	case KindResponse:
+		return "RESPONSE"
+	case KindPrepare:
+		return "PREPARE"
+	case KindPromise:
+		return "PROMISE"
+	case KindAccept:
+		return "ACCEPT"
+	case KindAccepted:
+		return "ACCEPTED"
+	case KindDecide:
+		return "DECIDE"
+	case KindMux:
+		return "MUX"
+	case KindABCast:
+		return "ABCAST"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
-	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
 // Message is implemented by every payload that travels on a link.
@@ -89,6 +102,7 @@ type Message interface {
 type Alive struct {
 	RN        int64   // sending round number s_rn
 	SuspLevel []int64 // gossiped susp_level array, one entry per process
+	ref
 }
 
 // Kind implements Message.
@@ -104,13 +118,14 @@ func (m *Alive) String() string { return fmt.Sprintf("ALIVE(%d)", m.RN) }
 type Suspicion struct {
 	RN       int64
 	Suspects *bitset.Set
+	ref
 }
 
 // Kind implements Message.
 func (*Suspicion) Kind() Kind { return KindSuspicion }
 
 // Size implements Message.
-func (m *Suspicion) Size() int { return 1 + 8 + 2 + 8*len(m.Suspects.Words()) }
+func (m *Suspicion) Size() int { return 1 + 8 + 2 + 8*m.Suspects.WordCount() }
 
 func (m *Suspicion) String() string {
 	return fmt.Sprintf("SUSPICION(%d,%v)", m.RN, m.Suspects)
@@ -120,6 +135,7 @@ func (m *Suspicion) String() string {
 // beacon with a sequence number.
 type Heartbeat struct {
 	Seq int64
+	ref
 }
 
 // Kind implements Message.
@@ -191,6 +207,7 @@ func (b Ballot) String() string { return fmt.Sprintf("%d.%d", b.Counter, b.Propo
 type Prepare struct {
 	Instance int64
 	Ballot   Ballot
+	ref
 }
 
 // Kind implements Message.
@@ -208,6 +225,7 @@ type Promise struct {
 	Value      int64
 	HasValue   bool
 	NACK       bool // set when the acceptor is promised to a higher ballot
+	ref
 }
 
 // Kind implements Message.
@@ -221,6 +239,7 @@ type Accept struct {
 	Instance int64
 	Ballot   Ballot
 	Value    int64
+	ref
 }
 
 // Kind implements Message.
@@ -234,6 +253,7 @@ type Accepted struct {
 	Instance int64
 	Ballot   Ballot
 	NACK     bool
+	ref
 }
 
 // Kind implements Message.
@@ -246,6 +266,7 @@ func (m *Accepted) Size() int { return 1 + 8 + 12 + 1 }
 type Decide struct {
 	Instance int64
 	Value    int64
+	ref
 }
 
 // Kind implements Message.
@@ -259,6 +280,7 @@ func (m *Decide) Size() int { return 1 + 8 + 8 }
 type Mux struct {
 	Lane  uint8
 	Inner Message
+	ref
 }
 
 // Kind implements Message.
@@ -273,6 +295,7 @@ type ABCast struct {
 	Sender  int32
 	LocalID int64 // sender-local unique id, used for deduplication
 	Payload int64
+	ref
 }
 
 // Kind implements Message.

@@ -4,20 +4,92 @@
 #
 # Usage:
 #   scripts/bench.sh [output.json]
+#   scripts/bench.sh --diff OLD.json NEW.json
 #
-# Environment:
+# Environment (record mode):
 #   BENCH      benchmark regexp passed to -bench   (default: .)
 #   BENCHTIME  iterations/duration per benchmark   (default: 3x)
 #
-# Output: a JSON array of objects, one per benchmark, e.g.
+# Record mode output: a JSON array of objects, one per benchmark, e.g.
 #   {"name":"BenchmarkF1Election/fig1","iterations":3,"ns_op":8044970,
 #    "events_op":22598,"msgs_op":18225,"vevents_s":2823857,
 #    "B_op":1132674,"allocs_op":31260}
 # The keys mirror `go test -bench` units with '/' spelled '_'.
+#
+# Diff mode prints a markdown table of per-benchmark deltas (ns/op,
+# allocs/op, vevents/s) between two recorded files, so a PR's perf
+# trajectory is reviewable at a glance.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_1.json}"
+if [ "${1:-}" = "--diff" ]; then
+	old="${2:?usage: bench.sh --diff OLD.json NEW.json}"
+	new="${3:?usage: bench.sh --diff OLD.json NEW.json}"
+	# The files are produced by this script: one object per line, so a
+	# line-oriented awk pass is enough — no jq dependency.
+	awk -v oldfile="$old" -v newfile="$new" '
+		function getnum(line, key,   re, m) {
+			re = "\"" key "\":[-0-9.e+]+"
+			if (match(line, re)) {
+				m = substr(line, RSTART, RLENGTH)
+				sub("\"" key "\":", "", m)
+				return m + 0
+			}
+			return ""
+		}
+		function getname(line,   m) {
+			if (match(line, /"name":"[^"]+"/)) {
+				return substr(line, RSTART + 8, RLENGTH - 9)
+			}
+			return ""
+		}
+		function pct(o, n) {
+			if (o == "" || n == "" || o == 0) return "n/a"
+			return sprintf("%+.1f%%", (n - o) * 100.0 / o)
+		}
+		function fmt(x) {
+			# %.0f, not %d: mawk integers are 32-bit and the large-n
+			# scale points exceed them.
+			if (x == "") return "-"
+			if (x == int(x) || x >= 2147483647) return sprintf("%.0f", x)
+			return sprintf("%.1f", x)
+		}
+		{
+			name = getname($0)
+			if (name == "") next
+			if (FILENAME == oldfile) {
+				seen_old[name] = 1
+				old_ns[name] = getnum($0, "ns_op")
+				old_al[name] = getnum($0, "allocs_op")
+				old_ve[name] = getnum($0, "vevents_s")
+			} else {
+				order[++n_new] = name
+				new_ns[name] = getnum($0, "ns_op")
+				new_al[name] = getnum($0, "allocs_op")
+				new_ve[name] = getnum($0, "vevents_s")
+			}
+		}
+		END {
+			print "| benchmark | ns/op | Δ | allocs/op | Δ | vevents/s | Δ |"
+			print "|---|---:|---:|---:|---:|---:|---:|"
+			for (i = 1; i <= n_new; i++) {
+				name = order[i]
+				if (seen_old[name]) {
+					printf "| %s | %s | %s | %s | %s | %s | %s |\n", name, \
+						fmt(new_ns[name]), pct(old_ns[name], new_ns[name]), \
+						fmt(new_al[name]), pct(old_al[name], new_al[name]), \
+						fmt(new_ve[name]), pct(old_ve[name], new_ve[name])
+				} else {
+					printf "| %s | %s | new | %s | new | %s | new |\n", name, \
+						fmt(new_ns[name]), fmt(new_al[name]), fmt(new_ve[name])
+				}
+			}
+		}
+	' "$old" "$new"
+	exit 0
+fi
+
+out="${1:-BENCH_2.json}"
 bench="${BENCH:-.}"
 benchtime="${BENCHTIME:-3x}"
 
