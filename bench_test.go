@@ -1,4 +1,4 @@
-// Benchmarks: one per experiment in DESIGN.md §4. Each benchmark iteration
+// Benchmarks: one per experiment in DESIGN.md. Each benchmark iteration
 // executes a complete (shortened) simulation of the corresponding
 // experiment and reports domain metrics alongside the usual ns/op:
 //
@@ -10,7 +10,8 @@
 // The full-length experiments (with tables) are produced by
 // `go run ./cmd/experiments`; these benches use shorter horizons so that
 // `go test -bench=. -benchmem` stays fast while still exercising every
-// experiment path.
+// experiment path. Everything goes through the public star façade
+// (repro/star + repro/star/harness), so the numbers measure what users get.
 package repro_test
 
 import (
@@ -18,9 +19,8 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/harness"
-	"repro/internal/scenario"
-	"repro/internal/sim"
+	"repro/star"
+	"repro/star/harness"
 )
 
 // benchRun executes one harness run and reports standard metrics.
@@ -33,7 +33,7 @@ func benchRun(b *testing.B, cfg harness.Config) {
 	for i := 0; i < b.N; i++ {
 		// Vary the seed per iteration so the benchmark averages over
 		// schedules rather than re-measuring one.
-		cfg.Params.Seed = uint64(i) + 1
+		cfg.Seed = uint64(i) + 1
 		res, err := harness.Run(cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -60,8 +60,8 @@ func BenchmarkF1Election(b *testing.B) {
 	for _, algo := range []harness.Algorithm{harness.AlgoFig1, harness.AlgoFig2, harness.AlgoFig3} {
 		b.Run(string(algo), func(b *testing.B) {
 			benchRun(b, harness.Config{
-				Family:   scenario.FamilyCombined,
-				Params:   scenario.Params{N: 5, T: 2},
+				N: 5, T: 2,
+				Scenario: star.Combined(),
 				Algo:     algo,
 				Duration: 5 * time.Second,
 			})
@@ -75,8 +75,8 @@ func BenchmarkF2Intermittent(b *testing.B) {
 	for _, algo := range []harness.Algorithm{harness.AlgoFig1, harness.AlgoFig2, harness.AlgoFig3} {
 		b.Run(string(algo), func(b *testing.B) {
 			benchRun(b, harness.Config{
-				Family:   scenario.FamilyIntermittent,
-				Params:   scenario.Params{N: 5, T: 2, D: 4},
+				N: 5, T: 2,
+				Scenario: star.Intermittent(star.Gap(4)),
 				Algo:     algo,
 				Duration: 10 * time.Second,
 			})
@@ -88,11 +88,10 @@ func BenchmarkF2Intermittent(b *testing.B) {
 // full invariant checking (experiment F3-BOUNDED).
 func BenchmarkF3Bounded(b *testing.B) {
 	benchRun(b, harness.Config{
-		Family: scenario.FamilyIntermittent,
-		Params: scenario.Params{
-			N: 5, T: 2, D: 3, Center: 1,
-			Crashes: []scenario.Crash{{ID: 3, At: sim.Time(time.Second)}},
-		},
+		N: 5, T: 2,
+		Scenario: star.Intermittent(
+			star.Gap(3), star.Center(1),
+			star.CrashAt(3, time.Second)),
 		Algo:        harness.AlgoFig3,
 		Duration:    10 * time.Second,
 		CheckSpread: true,
@@ -103,12 +102,12 @@ func BenchmarkF3Bounded(b *testing.B) {
 // (experiment F4-FG).
 func BenchmarkF4FG(b *testing.B) {
 	benchRun(b, harness.Config{
-		Family: scenario.FamilyIntermittentFG,
-		Params: scenario.Params{
-			N: 5, T: 2, D: 4,
-			F: func(k int64) int64 { return k / 2 },
-			G: func(rn int64) time.Duration { return time.Duration(rn) * 20 * time.Microsecond },
-		},
+		N: 5, T: 2,
+		Scenario: star.IntermittentFG(
+			star.Gap(4),
+			star.Growth(
+				func(k int64) int64 { return k / 2 },
+				func(rn int64) time.Duration { return time.Duration(rn) * 20 * time.Microsecond })),
 		Algo:     harness.AlgoFG,
 		Duration: 10 * time.Second,
 	})
@@ -122,8 +121,8 @@ func BenchmarkT5Consensus(b *testing.B) {
 	var latency time.Duration
 	for i := 0; i < b.N; i++ {
 		res, err := harness.RunConsensus(harness.ConsensusConfig{
-			Family:    scenario.FamilyCombined,
-			Params:    scenario.Params{N: 5, T: 2, Seed: uint64(i) + 1},
+			N: 5, T: 2, Seed: uint64(i) + 1,
+			Scenario:  star.Combined(),
 			Instances: 10,
 			Duration:  15 * time.Second,
 		})
@@ -146,15 +145,15 @@ func BenchmarkT5Consensus(b *testing.B) {
 func BenchmarkC1GridCell(b *testing.B) {
 	spec := harness.GridSpec{N: 5, T: 2, Duration: 10 * time.Second}
 	cells := []struct {
-		fam  scenario.Family
+		fam  string
 		algo harness.Algorithm
 	}{
-		{scenario.FamilyAllTimely, harness.AlgoStable},
-		{scenario.FamilyPattern, harness.AlgoTimeFree},
-		{scenario.FamilyIntermittent, harness.AlgoFig3},
+		{"alltimely", harness.AlgoStable},
+		{"pattern", harness.AlgoTimeFree},
+		{"intermittent", harness.AlgoFig3},
 	}
 	for _, c := range cells {
-		b.Run(string(c.fam)+"/"+string(c.algo), func(b *testing.B) {
+		b.Run(c.fam+"/"+string(c.algo), func(b *testing.B) {
 			cfg := harness.GridCellConfig(spec, c.fam, c.algo)
 			benchRun(b, cfg)
 		})
@@ -167,8 +166,8 @@ func BenchmarkQ1GapSweep(b *testing.B) {
 	for _, d := range []int64{1, 4, 16} {
 		b.Run(fmt.Sprintf("D=%d", d), func(b *testing.B) {
 			benchRun(b, harness.Config{
-				Family:   scenario.FamilyIntermittent,
-				Params:   scenario.Params{N: 5, T: 2, D: d},
+				N: 5, T: 2,
+				Scenario: star.Intermittent(star.Gap(d)),
 				Algo:     harness.AlgoFig3,
 				Duration: 10 * time.Second,
 			})
@@ -185,8 +184,8 @@ func BenchmarkQ2Scale(b *testing.B) {
 	for _, n := range []int{3, 5, 9, 13, 25, 51, 101} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			benchRun(b, harness.Config{
-				Family:   scenario.FamilyCombined,
-				Params:   scenario.Params{N: n, T: (n - 1) / 2},
+				N: n, T: (n - 1) / 2,
+				Scenario: star.Combined(),
 				Algo:     harness.AlgoFig3,
 				Duration: 5 * time.Second,
 			})
@@ -230,8 +229,8 @@ func BenchmarkQ3DeltaSweep(b *testing.B) {
 	for _, delta := range []time.Duration{time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond} {
 		b.Run(delta.String(), func(b *testing.B) {
 			benchRun(b, harness.Config{
-				Family:   scenario.FamilyTSource,
-				Params:   scenario.Params{N: 5, T: 2, Delta: delta},
+				N: 5, T: 2,
+				Scenario: star.TSource(star.Delta(delta)),
 				Algo:     harness.AlgoFig3,
 				Duration: 10 * time.Second,
 			})
@@ -242,15 +241,14 @@ func BenchmarkQ3DeltaSweep(b *testing.B) {
 // BenchmarkA1Ablation measures the ablated variants on the schedule where
 // the removed mechanism matters (experiment A1-ABLATION).
 func BenchmarkA1Ablation(b *testing.B) {
-	params := scenario.Params{
-		N: 5, T: 2, D: 3, Center: 1,
-		Crashes: []scenario.Crash{{ID: 3, At: sim.Time(time.Second)}},
-	}
+	spec := star.Intermittent(
+		star.Gap(3), star.Center(1),
+		star.CrashAt(3, time.Second))
 	for _, algo := range []harness.Algorithm{harness.AlgoFig1, harness.AlgoFig2, harness.AlgoFig3} {
 		b.Run(string(algo), func(b *testing.B) {
 			benchRun(b, harness.Config{
-				Family:   scenario.FamilyIntermittent,
-				Params:   params,
+				N: 5, T: 2,
+				Scenario: spec,
 				Algo:     algo,
 				Duration: 10 * time.Second,
 			})

@@ -6,11 +6,12 @@
 //	go run ./cmd/experiments -run F2    # one experiment
 //	go run ./cmd/experiments -quick     # smaller, faster configurations
 //
-// Experiment ids (see DESIGN.md §4): F1, F2, F3, F4, T5, C1, Q1, Q2, Q3, A1.
+// Experiment ids (see DESIGN.md): F1, F2, F3, F4, T5, C1, Q1, Q2, Q3, A1, CH.
 //
 // Runs within an experiment are independent deterministic simulations, so
 // they fan out across a worker pool (-workers, default one per CPU); tables
-// are emitted in the same order regardless of worker count.
+// are emitted in the same order regardless of worker count. Everything is
+// built on the public star API (repro/star + repro/star/harness).
 package main
 
 import (
@@ -20,11 +21,8 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/harness"
-	"repro/internal/par"
-	"repro/internal/scenario"
-	"repro/internal/sim"
-	"repro/internal/stats"
+	"repro/star"
+	"repro/star/harness"
 )
 
 func main() {
@@ -88,28 +86,9 @@ func (s *suite) dur(d time.Duration) time.Duration {
 	return d
 }
 
-// fanOut executes run(i) for i in [0, n) on a worker pool and returns the
-// results in input order (each run is deterministic and self-contained, so
-// parallel execution cannot change any result). The first error wins.
-func fanOut[T any](n, workers int, run func(i int) (T, error)) ([]T, error) {
-	results := make([]T, n)
-	errs := make([]error, n)
-	par.ForEach(n, workers, func(i int) {
-		results[i], errs[i] = run(i)
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
-}
-
 // runAll executes every harness config on the suite's worker pool.
 func (s *suite) runAll(cfgs []harness.Config) ([]*harness.Result, error) {
-	return fanOut(len(cfgs), s.workers, func(i int) (*harness.Result, error) {
-		return harness.Run(cfgs[i])
-	})
+	return harness.RunAll(cfgs, s.workers)
 }
 
 func verdict(ok bool) string {
@@ -120,17 +99,14 @@ func verdict(ok bool) string {
 }
 
 func (s *suite) runF1() error {
-	families := []scenario.Family{
-		scenario.FamilyTSource, scenario.FamilyMovingSource, scenario.FamilyPattern,
-		scenario.FamilyMovingPattern, scenario.FamilyCombined,
-	}
+	families := []string{"tsource", "movingsource", "pattern", "movingpattern", "combined"}
 	algos := []harness.Algorithm{harness.AlgoFig1, harness.AlgoFig2, harness.AlgoFig3}
 	var cfgs []harness.Config
 	for _, fam := range families {
 		for _, algo := range algos {
 			cfgs = append(cfgs, harness.Config{
-				Family:   fam,
-				Params:   scenario.Params{N: 5, T: 2, Seed: s.seed},
+				N: 5, T: 2, Seed: s.seed,
+				Scenario: star.MustFamily(fam),
 				Algo:     algo,
 				Duration: s.dur(20 * time.Second),
 			})
@@ -140,9 +116,9 @@ func (s *suite) runF1() error {
 	if err != nil {
 		return err
 	}
-	tb := stats.NewTable("family", "algorithm", "stabilized", "t_stab", "leader", "changes", "maxLevel", "B", "msgs", "events")
+	tb := newTable("family", "algorithm", "stabilized", "t_stab", "leader", "changes", "maxLevel", "B", "msgs", "events")
 	for i, res := range results {
-		tb.AddRow(cfgs[i].Family, cfgs[i].Algo, verdict(res.Report.Stabilized), res.StabilizationTime(),
+		tb.AddRow(cfgs[i].Scenario.Family(), cfgs[i].Algo, verdict(res.Report.Stabilized), res.StabilizationTime(),
 			res.Report.Leader, res.Report.Changes, res.MaxSuspLevel, res.BoundB,
 			res.NetStats.Sent, res.Events)
 	}
@@ -152,23 +128,25 @@ func (s *suite) runF1() error {
 
 func (s *suite) runF2() error {
 	var cfgs []harness.Config
+	var gaps []int64 // D per config, for the table (specs don't echo knobs)
 	for _, d := range []int64{2, 4, 8, 16} {
 		for _, algo := range []harness.Algorithm{harness.AlgoFig1, harness.AlgoFig2, harness.AlgoFig3} {
 			cfgs = append(cfgs, harness.Config{
-				Family:   scenario.FamilyIntermittent,
-				Params:   scenario.Params{N: 5, T: 2, Seed: s.seed, D: d},
+				N: 5, T: 2, Seed: s.seed,
+				Scenario: star.Intermittent(star.Gap(d)),
 				Algo:     algo,
 				Duration: s.dur(120 * time.Second),
 			})
+			gaps = append(gaps, d)
 		}
 	}
 	results, err := s.runAll(cfgs)
 	if err != nil {
 		return err
 	}
-	tb := stats.NewTable("D", "algorithm", "stabilized", "timeouts stable", "converged", "changes", "maxLevel", "t_stab")
+	tb := newTable("D", "algorithm", "stabilized", "timeouts stable", "converged", "changes", "maxLevel", "t_stab")
 	for i, res := range results {
-		tb.AddRow(cfgs[i].Params.D, cfgs[i].Algo, verdict(res.Report.Stabilized), verdict(res.TimeoutsStable),
+		tb.AddRow(gaps[i], cfgs[i].Algo, verdict(res.Report.Stabilized), verdict(res.TimeoutsStable),
 			verdict(res.Report.Stabilized && res.TimeoutsStable),
 			res.Report.Changes, res.MaxSuspLevel, res.StabilizationTime())
 	}
@@ -180,15 +158,15 @@ func (s *suite) runF2() error {
 }
 
 func (s *suite) runF3() error {
-	params := scenario.Params{
-		N: 5, T: 2, Seed: s.seed, D: 3, Center: 1,
-		Crashes: []scenario.Crash{{ID: 3, At: sim.Time(3 * time.Second)}},
-	}
+	spec := star.Intermittent(
+		star.Gap(3), star.Center(1),
+		star.CrashAt(3, 3*time.Second),
+	)
 	var cfgs []harness.Config
 	for _, algo := range []harness.Algorithm{harness.AlgoFig2, harness.AlgoFig3} {
 		cfgs = append(cfgs, harness.Config{
-			Family:      scenario.FamilyIntermittent,
-			Params:      params,
+			N: 5, T: 2, Seed: s.seed,
+			Scenario:    spec,
 			Algo:        algo,
 			Duration:    s.dur(120 * time.Second),
 			CheckSpread: algo == harness.AlgoFig3,
@@ -198,7 +176,7 @@ func (s *suite) runF3() error {
 	if err != nil {
 		return err
 	}
-	tb := stats.NewTable("algorithm", "stabilized", "maxLevel ever", "B", "maxLevel<=B+1", "Lemma8 violations", "timeouts stable", "final timeout")
+	tb := newTable("algorithm", "stabilized", "maxLevel ever", "B", "maxLevel<=B+1", "Lemma8 violations", "timeouts stable", "final timeout")
 	for i, res := range results {
 		algo := cfgs[i].Algo
 		spread := "n/a"
@@ -227,16 +205,17 @@ func (s *suite) runF3() error {
 }
 
 func (s *suite) runF4() error {
-	params := scenario.Params{
-		N: 5, T: 2, Seed: s.seed, D: 4,
-		F: func(k int64) int64 { return k / 2 },
-		G: func(rn int64) time.Duration { return time.Duration(rn) * 20 * time.Microsecond },
-	}
+	spec := star.IntermittentFG(
+		star.Gap(4),
+		star.Growth(
+			func(k int64) int64 { return k / 2 },
+			func(rn int64) time.Duration { return time.Duration(rn) * 20 * time.Microsecond }),
+	)
 	var cfgs []harness.Config
 	for _, algo := range []harness.Algorithm{harness.AlgoFig3, harness.AlgoFG} {
 		cfgs = append(cfgs, harness.Config{
-			Family:   scenario.FamilyIntermittentFG,
-			Params:   params,
+			N: 5, T: 2, Seed: s.seed,
+			Scenario: spec,
 			Algo:     algo,
 			Duration: s.dur(120 * time.Second),
 		})
@@ -245,7 +224,7 @@ func (s *suite) runF4() error {
 	if err != nil {
 		return err
 	}
-	tb := stats.NewTable("algorithm", "stabilized", "leader", "maxLevel", "changes")
+	tb := newTable("algorithm", "stabilized", "leader", "maxLevel", "changes")
 	for i, res := range results {
 		tb.AddRow(cfgs[i].Algo, verdict(res.Report.Stabilized), res.Report.Leader,
 			res.MaxSuspLevel, res.Report.Changes)
@@ -259,37 +238,37 @@ func (s *suite) runF4() error {
 }
 
 func (s *suite) runT5() error {
-	tb := stats.NewTable("scenario", "decided", "agreement", "validity", "mean latency", "ballots", "msgs")
+	tb := newTable("scenario", "decided", "agreement", "validity", "mean latency", "ballots", "msgs")
 	cases := []struct {
 		name string
 		cfg  harness.ConsensusConfig
 	}{
 		{"combined, no crashes", harness.ConsensusConfig{
-			Family:    scenario.FamilyCombined,
-			Params:    scenario.Params{N: 5, T: 2, Seed: s.seed},
+			N: 5, T: 2, Seed: s.seed,
+			Scenario:  star.Combined(),
 			Instances: 10,
 			Duration:  s.dur(60 * time.Second),
 		}},
 		{"intermittent D=3, 1 crash", harness.ConsensusConfig{
-			Family: scenario.FamilyIntermittent,
-			Params: scenario.Params{N: 5, T: 2, Seed: s.seed, D: 3,
-				Crashes: []scenario.Crash{{ID: 4, At: sim.Time(time.Second)}}},
+			N: 5, T: 2, Seed: s.seed,
+			Scenario:  star.Intermittent(star.Gap(3), star.CrashAt(4, time.Second)),
 			Instances: 10,
 			Duration:  s.dur(90 * time.Second),
 		}},
 		{"intermittent D=8, 2 crashes", harness.ConsensusConfig{
-			Family: scenario.FamilyIntermittent,
-			Params: scenario.Params{N: 7, T: 3, Seed: s.seed, D: 8,
-				Crashes: []scenario.Crash{
-					{ID: 5, At: sim.Time(time.Second)},
-					{ID: 6, At: sim.Time(2 * time.Second)}}},
+			N: 7, T: 3, Seed: s.seed,
+			Scenario: star.Intermittent(star.Gap(8),
+				star.CrashAt(5, time.Second),
+				star.CrashAt(6, 2*time.Second)),
 			Instances: 10,
 			Duration:  s.dur(90 * time.Second),
 		}},
 	}
-	results, err := fanOut(len(cases), s.workers, func(i int) (*harness.ConsensusResult, error) {
-		return harness.RunConsensus(cases[i].cfg)
-	})
+	cfgs := make([]harness.ConsensusConfig, len(cases))
+	for i := range cases {
+		cfgs[i] = cases[i].cfg
+	}
+	results, err := harness.RunConsensusAll(cfgs, s.workers)
 	if err != nil {
 		return err
 	}
@@ -310,7 +289,7 @@ func (s *suite) runC1() error {
 	spec := harness.GridSpec{N: 5, T: 2, Seed: s.seed, Duration: s.dur(120 * time.Second), Workers: s.workers}
 	cells := harness.RunGrid(spec)
 	// Pivot: one row per family, one column per algorithm.
-	byFam := map[scenario.Family]map[harness.Algorithm]harness.GridCell{}
+	byFam := map[string]map[harness.Algorithm]harness.GridCell{}
 	for _, c := range cells {
 		if byFam[c.Family] == nil {
 			byFam[c.Family] = map[harness.Algorithm]harness.GridCell{}
@@ -322,9 +301,9 @@ func (s *suite) runC1() error {
 	for _, a := range algos {
 		header = append(header, string(a))
 	}
-	tb := stats.NewTable(header...)
-	for _, fam := range scenario.Families() {
-		row := []any{string(fam)}
+	tb := newTable(header...)
+	for _, fam := range star.Families() {
+		row := []any{fam}
 		for _, a := range algos {
 			c := byFam[fam][a]
 			switch {
@@ -349,11 +328,12 @@ func (s *suite) runC1() error {
 }
 
 func (s *suite) runQ1() error {
+	ds := []int64{1, 2, 4, 8, 16}
 	var cfgs []harness.Config
-	for _, d := range []int64{1, 2, 4, 8, 16} {
+	for _, d := range ds {
 		cfgs = append(cfgs, harness.Config{
-			Family:   scenario.FamilyIntermittent,
-			Params:   scenario.Params{N: 5, T: 2, Seed: s.seed, D: d},
+			N: 5, T: 2, Seed: s.seed,
+			Scenario: star.Intermittent(star.Gap(d)),
 			Algo:     harness.AlgoFig3,
 			Duration: s.dur(120 * time.Second),
 		})
@@ -362,7 +342,7 @@ func (s *suite) runQ1() error {
 	if err != nil {
 		return err
 	}
-	tb := stats.NewTable("D", "t_stab", "maxLevel", "B", "final timeout", "rounds")
+	tb := newTable("D", "t_stab", "maxLevel", "B", "final timeout", "rounds")
 	for i, res := range results {
 		var maxTO time.Duration
 		for _, to := range res.FinalTimeouts {
@@ -370,7 +350,7 @@ func (s *suite) runQ1() error {
 				maxTO = to
 			}
 		}
-		tb.AddRow(cfgs[i].Params.D, res.StabilizationTime(), res.MaxSuspLevel, res.BoundB, maxTO, res.RoundsDone)
+		tb.AddRow(ds[i], res.StabilizationTime(), res.MaxSuspLevel, res.BoundB, maxTO, res.RoundsDone)
 	}
 	fmt.Println(tb.Markdown())
 	fmt.Println("Expected shape: the level bound B (and hence the calibrated timeout)" +
@@ -383,8 +363,8 @@ func (s *suite) runQ2() error {
 	var cfgs []harness.Config
 	for _, n := range []int{3, 5, 7, 9, 13} {
 		cfgs = append(cfgs, harness.Config{
-			Family:   scenario.FamilyCombined,
-			Params:   scenario.Params{N: n, T: (n - 1) / 2, Seed: s.seed},
+			N: n, T: (n - 1) / 2, Seed: s.seed,
+			Scenario: star.Combined(),
 			Algo:     harness.AlgoFig3,
 			Duration: s.dur(20 * time.Second),
 		})
@@ -393,14 +373,14 @@ func (s *suite) runQ2() error {
 	if err != nil {
 		return err
 	}
-	tb := stats.NewTable("n", "t", "t_stab", "msgs total", "msgs/round/proc", "bytes", "events")
+	tb := newTable("n", "t", "t_stab", "msgs total", "msgs/round/proc", "bytes", "events")
 	for i, res := range results {
-		n := cfgs[i].Params.N
+		n := cfgs[i].N
 		perRound := "n/a"
 		if res.RoundsDone > 0 {
 			perRound = fmt.Sprintf("%.1f", float64(res.NetStats.Sent)/float64(res.RoundsDone)/float64(n))
 		}
-		tb.AddRow(n, cfgs[i].Params.T, res.StabilizationTime(), res.NetStats.Sent, perRound,
+		tb.AddRow(n, cfgs[i].T, res.StabilizationTime(), res.NetStats.Sent, perRound,
 			res.NetStats.Bytes, res.Events)
 	}
 	fmt.Println(tb.Markdown())
@@ -423,8 +403,8 @@ func (s *suite) runQ3() error {
 		5 * time.Millisecond, 20 * time.Millisecond,
 	} {
 		cfgs = append(cfgs, harness.Config{
-			Family:      scenario.FamilyIntermittent,
-			Params:      scenario.Params{N: 5, T: 2, Seed: s.seed, D: 3},
+			N: 5, T: 2, Seed: s.seed,
+			Scenario:    star.Intermittent(star.Gap(3)),
 			Algo:        harness.AlgoFig3,
 			TimeoutUnit: unit,
 			Duration:    s.dur(60 * time.Second),
@@ -434,7 +414,7 @@ func (s *suite) runQ3() error {
 	if err != nil {
 		return err
 	}
-	tb := stats.NewTable("timeout unit", "B", "maxLevel", "final timeout", "t_stab")
+	tb := newTable("timeout unit", "B", "maxLevel", "final timeout", "t_stab")
 	for i, res := range results {
 		var maxTO time.Duration
 		for _, to := range res.FinalTimeouts {
@@ -453,29 +433,27 @@ func (s *suite) runQ3() error {
 }
 
 func (s *suite) runA1() error {
-	params := scenario.Params{
-		N: 5, T: 2, Seed: s.seed, D: 3, Center: 1,
-		Crashes: []scenario.Crash{{ID: 3, At: sim.Time(3 * time.Second)}},
-	}
-	// Ablation 3 uses a stricter reception threshold alpha (footnote 5):
-	// n - actual crashes, a valid lower bound here.
-	paramsAlpha := params
-	paramsAlpha.Alpha = 4
+	spec := star.Intermittent(
+		star.Gap(3), star.Center(1),
+		star.CrashAt(3, 3*time.Second),
+	)
 	rows := []struct {
 		label, notes string
 		cfg          harness.Config
 	}{
 		{"fig1 (no *, no **)", "window test removed: diverges under intermittence",
-			harness.Config{Family: scenario.FamilyIntermittent, Params: params,
+			harness.Config{N: 5, T: 2, Seed: s.seed, Scenario: spec,
 				Algo: harness.AlgoFig1, Duration: s.dur(120 * time.Second)}},
 		{"fig2 (*, no **)", "min test removed: unbounded levels after a crash",
-			harness.Config{Family: scenario.FamilyIntermittent, Params: params,
+			harness.Config{N: 5, T: 2, Seed: s.seed, Scenario: spec,
 				Algo: harness.AlgoFig2, Duration: s.dur(120 * time.Second)}},
 		{"fig3 (* and **)", "full algorithm: bounded and stable",
-			harness.Config{Family: scenario.FamilyIntermittent, Params: params,
+			harness.Config{N: 5, T: 2, Seed: s.seed, Scenario: spec,
 				Algo: harness.AlgoFig3, Duration: s.dur(120 * time.Second)}},
+		// Ablation 4 uses a stricter reception threshold alpha
+		// (footnote 5): n - actual crashes, a valid lower bound here.
 		{"fig3, alpha=4 (=n-f)", "footnote 5: any lower bound on #correct works",
-			harness.Config{Family: scenario.FamilyIntermittent, Params: paramsAlpha,
+			harness.Config{N: 5, T: 2, Seed: s.seed, Alpha: 4, Scenario: spec,
 				Algo: harness.AlgoFig3, Duration: s.dur(120 * time.Second)}},
 	}
 	cfgs := make([]harness.Config, len(rows))
@@ -486,7 +464,7 @@ func (s *suite) runA1() error {
 	if err != nil {
 		return err
 	}
-	tb := stats.NewTable("configuration", "stabilized", "timeouts stable", "maxLevel", "notes")
+	tb := newTable("configuration", "stabilized", "timeouts stable", "maxLevel", "notes")
 	for i, res := range results {
 		tb.AddRow(rows[i].label, verdict(res.Report.Stabilized), verdict(res.TimeoutsStable),
 			res.MaxSuspLevel, rows[i].notes)
@@ -513,7 +491,7 @@ func (s *suite) runCH() error {
 	if err != nil {
 		return err
 	}
-	tb := stats.NewTable("algorithm", "stabilized", "leader", "maxLevel", "late ALIVEs", "ring evictions", "overflow hits", "rounds", "events")
+	tb := newTable("algorithm", "stabilized", "leader", "maxLevel", "late ALIVEs", "ring evictions", "overflow hits", "rounds", "events")
 	for i, res := range results {
 		var late, evict, over uint64
 		for _, m := range res.CoreMetrics {

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// table accumulates rows and renders GitHub-flavored markdown. It is the
+// output format of this command (EXPERIMENTS.md embeds its output).
+// Presentation only — all system access goes through repro/star.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+// newTable creates a table with the given column headers.
+func newTable(header ...string) *table {
+	return &table{header: header}
+}
+
+// AddRow appends a row; values are formatted with %v (durations rounded to
+// milliseconds, floats to two decimals).
+func (t *table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = v.Round(time.Millisecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Markdown renders the table.
+func (t *table) Markdown() string {
+	var b strings.Builder
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i := range t.header {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, " %-*s |", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	b.WriteString("|")
+	for i := range t.header {
+		b.WriteString(strings.Repeat("-", widths[i]+2))
+		b.WriteString("|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

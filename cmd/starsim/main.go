@@ -1,6 +1,7 @@
 // Command starsim runs one leader-election scenario on the deterministic
 // simulator and prints a report. It is the interactive entry point for
 // exploring the system; the full experiment suite lives in cmd/experiments.
+// It is built entirely on the public star API (repro/star).
 //
 // Examples:
 //
@@ -18,20 +19,22 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/harness"
-	"repro/internal/proc"
-	"repro/internal/scenario"
-	"repro/internal/sim"
-	"repro/internal/wire"
+	"repro/star"
 )
 
+// crash is one -crash id@time flag entry.
+type crash struct {
+	id int
+	at time.Duration
+}
+
 // crashList implements flag.Value for repeated -crash id@time flags.
-type crashList []scenario.Crash
+type crashList []crash
 
 func (c *crashList) String() string {
 	var parts []string
 	for _, cr := range *c {
-		parts = append(parts, fmt.Sprintf("%d@%v", cr.ID, time.Duration(cr.At)))
+		parts = append(parts, fmt.Sprintf("%d@%v", cr.id, cr.at))
 	}
 	return strings.Join(parts, ",")
 }
@@ -49,13 +52,13 @@ func (c *crashList) Set(s string) error {
 	if err != nil {
 		return fmt.Errorf("bad crash time %q: %w", at, err)
 	}
-	*c = append(*c, scenario.Crash{ID: pid, At: sim.Time(d)})
+	*c = append(*c, crash{id: pid, at: d})
 	return nil
 }
 
 func main() {
 	var (
-		family   = flag.String("family", "combined", "assumption family: alltimely|tsource|movingsource|pattern|movingpattern|combined|intermittent|intermittentfg")
+		family   = flag.String("family", "combined", "assumption family: "+strings.Join(star.Families(), "|"))
 		algo     = flag.String("algo", "fig3", "algorithm: fig1|fig2|fig3|fg|stable|timefree")
 		n        = flag.Int("n", 5, "number of processes")
 		t        = flag.Int("t", 2, "resilience (max crashes tolerated)")
@@ -71,66 +74,79 @@ func main() {
 	flag.Var(&crashes, "crash", "crash schedule entry id@time (repeatable), e.g. -crash 2@3s")
 	flag.Parse()
 
-	algorithm, err := harness.ParseAlgorithm(*algo)
+	algorithm, err := star.ParseAlgorithm(*algo)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := harness.Config{
-		Family: scenario.Family(*family),
-		Params: scenario.Params{
-			N: *n, T: *t, Seed: *seed,
-			Center:  *center,
-			D:       *d,
-			Delta:   *delta,
-			Crashes: crashes,
-		},
-		Algo:         algorithm,
-		Duration:     *duration,
-		CheckSpread:  *spread,
-		KeepTimeline: *timeline,
+	scOpts := []star.ScenarioOption{
+		star.Center(*center),
+		star.Gap(*d),
+		star.Delta(*delta),
 	}
-	res, err := harness.Run(cfg)
+	for _, cr := range crashes {
+		scOpts = append(scOpts, star.CrashAt(cr.id, cr.at))
+	}
+	spec, err := star.Family(*family, scOpts...)
 	if err != nil {
 		fatal(err)
 	}
+	opts := []star.Option{
+		star.N(*n), star.Resilience(*t), star.Seed(*seed),
+		star.Algorithm(algorithm), star.Scenario(spec),
+		star.UnboundedRetention(), // paper-faithful exploration
+	}
+	if *spread {
+		opts = append(opts, star.CheckSpread())
+	}
+	c, err := star.New(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
 
-	fmt.Printf("scenario   %s — %s\n", res.Sc.Name, res.Sc.Description)
-	fmt.Printf("system     n=%d t=%d alpha=%d seed=%d\n", *n, *t, res.Sc.Params.Alpha, *seed)
-	fmt.Printf("algorithm  %s for %v of virtual time (%v wall)\n", algorithm, *duration, res.Elapsed.Round(time.Millisecond))
+	wall := time.Now()
+	if err := c.Run(*duration); err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(wall)
+	res := c.Report()
+	m := c.Metrics()
+
+	fmt.Printf("scenario   %s — %s\n", c.ScenarioName(), c.ScenarioDescription())
+	fmt.Printf("system     n=%d t=%d seed=%d\n", *n, *t, *seed)
+	fmt.Printf("algorithm  %s for %v of virtual time (%v wall)\n", algorithm, *duration, elapsed.Round(time.Millisecond))
 	fmt.Println()
-	if res.Report.Stabilized {
+	if res.Stabilized {
 		fmt.Printf("ELECTED    process %d at %v (all correct processes agree through the end)\n",
-			res.Report.Leader, res.StabilizationTime())
+			res.Leader, res.StabilizationTime())
 	} else {
-		fmt.Printf("NO STABLE LEADER (last disagreement at %v)\n", time.Duration(res.Report.LastDisagreement))
+		fmt.Printf("NO STABLE LEADER (last disagreement at %v)\n", res.LastDisagreement)
 	}
-	fmt.Printf("churn      %d leadership changes over %d samples\n", res.Report.Changes, res.Report.Samples)
+	fmt.Printf("churn      %d leadership changes over %d samples\n", res.Changes, res.Samples)
 	fmt.Printf("messages   %d sent (%d bytes), %d delivered, %d to crashed processes\n",
-		res.NetStats.Sent, res.NetStats.Bytes, res.NetStats.Delivered, res.NetStats.Dropped)
-	for kind := wire.Kind(1); kind < wire.KindCount; kind++ {
-		if count := res.NetStats.ByKind[kind]; count > 0 {
-			fmt.Printf("           %-10s %8d (%d bytes)\n", kind.String(), count, res.NetStats.BytesKind[kind])
-		}
+		m.Net.Sent, m.Net.Bytes, m.Net.Delivered, m.Net.Dropped)
+	for _, ks := range m.Net.PerKind {
+		fmt.Printf("           %-10s %8d (%d bytes)\n", ks.Kind, ks.Count, ks.Bytes)
 	}
-	fmt.Printf("events     %d simulator events\n", res.Events)
+	fmt.Printf("events     %d simulator events\n", m.Events)
 	if res.RoundsDone > 0 {
 		fmt.Printf("rounds     %d receiving rounds completed\n", res.RoundsDone)
 		fmt.Printf("levels     max ever %d, empirical B %d (Theorem 4 bound holds: %v)\n",
 			res.MaxSuspLevel, res.BoundB, res.BoundOK)
 		fmt.Printf("timeouts   stable: %v, final per process: %v\n", res.TimeoutsStable, res.FinalTimeouts)
 	}
-	if cfg.CheckSpread {
+	if *spread {
 		fmt.Printf("lemma 8    %d spread violations (want 0)\n", res.SpreadViolations)
 	}
 	fmt.Printf("leaders    at end: %v\n", res.LeaderAtEnd)
 
 	if *timeline {
 		fmt.Println("\nleader timeline (changes of process 0's estimate):")
-		prev := proc.ID(-2)
+		prev := star.None - 1
 		for _, s := range res.Timeline {
 			l := s.Leaders[0]
 			if l != prev {
-				fmt.Printf("  %10v  leader=%d  all=%v\n", time.Duration(s.At).Round(time.Millisecond), l, s.Leaders)
+				fmt.Printf("  %10v  leader=%d  all=%v\n", s.At.Round(time.Millisecond), l, s.Leaders)
 				prev = l
 			}
 		}

@@ -6,10 +6,21 @@
 // (Theorem 5) — all runnable on a deterministic discrete-event simulator and
 // on a live goroutine runtime.
 //
-// Start with README.md; the layout, system inventory and experiment index
-// are in DESIGN.md; measured results are in EXPERIMENTS.md. The benchmarks
-// in this package (bench_test.go) regenerate a short version of every
-// experiment; the full tables come from cmd/experiments.
+// User code imports exactly one package: repro/star, the public façade.
+// A cluster is one call —
+//
+//	c, err := star.New(star.N(5), star.Resilience(2),
+//	        star.Algorithm(star.Fig3),
+//	        star.Scenario(star.Combined(star.Center(4))),
+//	        star.Seed(7))
+//
+// — and everything else (transports, scenarios, churn, observers, the
+// consensus/abcast application lanes, reports) is options and methods on
+// it. See star's package documentation, README.md for the quickstart, and
+// DESIGN.md for the architecture. The experiment layer is repro/star/harness;
+// the examples/ directory shows every feature in a few lines each, and both
+// CLIs (cmd/starsim, cmd/experiments) are built on the same two packages —
+// CI rejects any internal/ import from examples or cmds.
 //
 // # Performance architecture
 //
@@ -35,9 +46,15 @@
 //     consensus ballots, mux envelopes) come from per-node pools
 //     (internal/wire), and all round-indexed bookkeeping lives in
 //     fixed-size ring windows with row recycling (internal/rounds), with
-//     an exact overflow map for pathological round skew.
-//   - internal/harness.RunGrid and cmd/experiments fan independent runs out
-//     across a worker pool (internal/par); every run owns its scheduler and
+//     an exact overflow map for pathological round skew. The order gate's
+//     per-(receiver, round) state rides the same rings (rounds.Ring).
+//   - Through the façade, per-round bookkeeping defaults to a bounded
+//     retention window sized so pruning beats slot recycling: O(window)
+//     memory with zero steady-state eviction copies;
+//     star.UnboundedRetention() restores the paper's keep-everything
+//     semantics for experiments.
+//   - star/harness.RunGrid and cmd/experiments fan independent runs out
+//     across a worker pool (internal/par); every run owns its cluster and
 //     seeds, so results are byte-identical for every worker count.
 //
 // scripts/bench.sh records the benchmark suite (ns/op, allocs/op, domain

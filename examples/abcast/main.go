@@ -1,7 +1,7 @@
 // Atomic broadcast: a replicated counter on top of total-order broadcast,
 // which runs on repeated Ω-based consensus — the application stack the
 // paper motivates ([3,12]): Ω → consensus → atomic broadcast → replicated
-// state machine.
+// state machine. The whole stack is one cluster option.
 //
 // Every process applies the same deliveries in the same order, so the
 // replicas stay identical even though the submissions race each other
@@ -15,86 +15,46 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/abcast"
-	"repro/internal/core"
-	"repro/internal/netsim"
-	"repro/internal/proc"
-	"repro/internal/scenario"
-	"repro/internal/sim"
+	"repro/star"
 )
 
 func main() {
-	const (
-		n = 5
-		t = 2
-	)
-	sc, err := scenario.Intermittent(scenario.Params{
-		N: n, T: t, Seed: 2024, D: 3, Center: 1,
-		Crashes: []scenario.Crash{{ID: 4, At: sim.Time(4 * time.Second)}},
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	sched := sim.NewScheduler()
-	net, err := netsim.New(sched, netsim.Config{N: n, Seed: 2024, Policy: sc.Policy, Gate: sc.Gate})
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	// Each replica: a counter advanced only by delivered operations.
-	counters := make([]int64, n)
-	omegas := make([]*core.Node, n)
-	nodes := make([]*abcast.Node, n)
-	for id := 0; id < n; id++ {
-		id := id
-		omega, err := core.NewNode(id, core.Config{N: n, T: t, Variant: core.VariantFig3})
-		if err != nil {
-			log.Fatal(err)
-		}
-		ab, cons, err := abcast.NewPair(abcast.Config{
-			N: n, T: t,
-			Oracle: omega.Leader,
-			OnDeliver: func(d abcast.Delivery) {
-				counters[id] += d.Payload
-				if id == 0 {
-					fmt.Printf("t=%-8v slot %2d: +%d from p%d -> counter %d\n",
-						time.Duration(sched.Now()).Round(time.Millisecond),
-						d.Slot, d.Payload, d.Sender, counters[0])
-				}
-			},
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		mux := proc.NewMux()
-		mux.AddLane(omega)
-		mux.AddLane(cons)
-		mux.AddLane(ab)
-		omegas[id] = omega
-		nodes[id] = ab
-		net.Register(id, mux)
-		net.StartAt(id, 0)
+	counters := make([]int64, 5)
+	var c *star.Cluster
+	c, err := star.New(
+		star.N(5), star.Resilience(2), star.Seed(2024),
+		star.Scenario(star.Intermittent(star.Gap(3), star.Center(1), star.CrashAt(4, 4*time.Second))),
+		star.WithAtomicBroadcast(func(p int, d star.Delivery) {
+			counters[p] += d.Payload
+			if p == 0 {
+				fmt.Printf("t=%-8v slot %2d: +%d from p%d -> counter %d\n",
+					c.Now().Round(time.Millisecond), d.Slot, d.Payload, d.Sender, counters[0])
+			}
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
-	sc.SetCrashedProbe(net.Crashed)
-	sc.SetRoundProbe(func(q proc.ID) int64 { _, r := omegas[q].Rounds(); return r })
-	for _, c := range sc.Crashes {
-		net.CrashAt(c.ID, c.At)
-	}
+	defer c.Close()
 
 	// Concurrent increments from every replica, two waves.
-	for id := 0; id < n; id++ {
-		id := id
-		sched.After(500*time.Millisecond, func() { nodes[id].Broadcast(int64(1 + id)) })
-		sched.After(8*time.Second, func() { nodes[id].Broadcast(int64(10 * (1 + id))) })
+	c.Run(500 * time.Millisecond)
+	for p := 0; p < c.N(); p++ {
+		c.Broadcast(p, int64(1+p))
 	}
-	sched.RunFor(60 * time.Second)
+	c.Run(7500 * time.Millisecond)
+	for p := 0; p < c.N(); p++ {
+		c.Broadcast(p, int64(10*(1+p)))
+	}
+	c.Run(52 * time.Second)
 
 	fmt.Println("\nreplica counters (identical values = total order held):")
-	for id := 0; id < n; id++ {
-		if net.Crashed(id) {
-			fmt.Printf("  p%d: † (crashed at 4s, delivered %d ops before)\n", id, len(nodes[id].Log()))
+	for p := 0; p < c.N(); p++ {
+		if c.Crashed(p) {
+			fmt.Printf("  p%d: † (crashed at 4s, delivered %d ops before)\n", p, len(c.Deliveries(p)))
 			continue
 		}
-		fmt.Printf("  p%d: counter=%d after %d ordered deliveries\n", id, counters[id], len(nodes[id].Log()))
+		fmt.Printf("  p%d: counter=%d after %d ordered deliveries\n", p, counters[p], len(c.Deliveries(p)))
 	}
 }

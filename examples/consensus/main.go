@@ -1,7 +1,7 @@
 // Consensus (Theorem 5): solve consensus in an asynchronous system with a
 // majority of correct processes plus an intermittent rotating t-star, by
 // co-hosting the paper's Ω (Figure 3) with a leader-driven indulgent
-// consensus protocol in every process.
+// consensus protocol in every process — one option on the cluster.
 //
 //	go run ./examples/consensus
 package main
@@ -11,101 +11,52 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/consensus"
-	"repro/internal/core"
-	"repro/internal/netsim"
-	"repro/internal/proc"
-	"repro/internal/scenario"
-	"repro/internal/sim"
+	"repro/star"
 )
 
 func main() {
-	const (
-		n         = 5
-		t         = 2 // t < n/2: the Theorem 5 requirement
-		instances = 5
+	const instances = 5
+	var c *star.Cluster
+	c, err := star.New(
+		star.N(5), star.Resilience(2), star.Seed(99), // t < n/2: Theorem 5
+		// The weakest model in the paper: an intermittent rotating star
+		// (the star only exists every 3rd round) with an adversary
+		// outside S, and one process crashing mid-run.
+		star.Scenario(star.Intermittent(star.Gap(3), star.CrashAt(4, 2*time.Second))),
+		star.WithConsensus(func(p int, inst, v int64) {
+			if p == 0 { // log decisions once, from p0's view
+				fmt.Printf("t=%-8v instance %d decided: %d\n", c.Now().Round(time.Millisecond), inst, v)
+			}
+		}),
 	)
-
-	// The weakest model in the paper: an intermittent rotating star (the
-	// star only exists every 3rd round) with an adversary outside S, and
-	// one process crashing mid-run.
-	sc, err := scenario.Intermittent(scenario.Params{
-		N: n, T: t, Seed: 99, D: 3,
-		Crashes: []scenario.Crash{{ID: 4, At: sim.Time(2 * time.Second)}},
-	})
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	sched := sim.NewScheduler()
-	net, err := netsim.New(sched, netsim.Config{N: n, Seed: 99, Policy: sc.Policy, Gate: sc.Gate})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	omegas := make([]*core.Node, n)
-	nodes := make([]*consensus.Node, n)
-	for id := 0; id < n; id++ {
-		id := id
-		omega, err := core.NewNode(id, core.Config{N: n, T: t, Variant: core.VariantFig3})
-		if err != nil {
-			log.Fatal(err)
-		}
-		cons, err := consensus.New(consensus.Config{
-			N: n, T: t,
-			Oracle: omega.Leader, // Ω drives the proposer role
-			OnDecide: func(inst, v int64) {
-				if id == 0 { // log decisions once, from p0's view
-					fmt.Printf("t=%-8v instance %d decided: %d\n",
-						time.Duration(sched.Now()).Round(time.Millisecond), inst, v)
-				}
-			},
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		// One transport endpoint, two protocol lanes.
-		mux := proc.NewMux()
-		mux.AddLane(omega)
-		mux.AddLane(cons)
-		omegas[id] = omega
-		nodes[id] = cons
-		net.Register(id, mux)
-		net.StartAt(id, 0)
-	}
-	sc.SetCrashedProbe(net.Crashed)
-	sc.SetRoundProbe(func(q proc.ID) int64 { _, r := omegas[q].Rounds(); return r })
-	for _, c := range sc.Crashes {
-		net.CrashAt(c.ID, c.At)
-	}
+	defer c.Close()
 
 	// Everyone proposes its own value for every instance (consensus is
 	// leader-driven: the eventual leader must hold a proposal).
-	sched.After(200*time.Millisecond, func() {
-		for inst := int64(0); inst < instances; inst++ {
-			for id, c := range nodes {
-				c.Propose(inst, int64(100*id)+inst)
-			}
+	c.Run(200 * time.Millisecond)
+	for inst := int64(0); inst < instances; inst++ {
+		for p := 0; p < c.N(); p++ {
+			c.Propose(p, inst, int64(100*p)+inst)
 		}
-	})
-	sched.RunFor(30 * time.Second)
+	}
+	c.Run(30 * time.Second)
 
 	fmt.Println("\nfinal state (crashed processes marked †):")
 	for inst := int64(0); inst < instances; inst++ {
 		fmt.Printf("  instance %d:", inst)
-		for id, c := range nodes {
-			if net.Crashed(id) {
-				fmt.Printf("  p%d=†", id)
-				continue
-			}
-			if v, ok := c.Decided(inst); ok {
-				fmt.Printf("  p%d=%d", id, v)
+		for p := 0; p < c.N(); p++ {
+			if c.Crashed(p) {
+				fmt.Printf("  p%d=†", p)
+			} else if v, ok := c.Decided(p, inst); ok {
+				fmt.Printf("  p%d=%d", p, v)
 			} else {
-				fmt.Printf("  p%d=?", id)
+				fmt.Printf("  p%d=?", p)
 			}
 		}
 		fmt.Println()
 	}
-	fmt.Printf("\nΩ leader at end: %d (per p0); ballots started: %d\n",
-		omegas[0].Leader(), nodes[0].Ballots+nodes[1].Ballots+nodes[2].Ballots+nodes[3].Ballots)
+	fmt.Printf("\nΩ leader at end: %d (per p0); ballots started: %d\n", c.Leader(0), c.Ballots())
 }

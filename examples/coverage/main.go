@@ -16,15 +16,14 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/harness"
-	"repro/internal/scenario"
+	"repro/star/harness"
 )
 
 func main() {
-	families := []scenario.Family{
-		scenario.FamilyAllTimely, // every link eventually timely
-		scenario.FamilyTSource,   // only t links from one process timely
-		scenario.FamilyPattern,   // no timing at all; t winning links
+	families := []string{
+		"alltimely", // every link eventually timely
+		"tsource",   // only t links from one process timely
+		"pattern",   // no timing at all; t winning links
 	}
 	algos := []harness.Algorithm{
 		harness.AlgoStable,   // heartbeat/timeout baseline [14]

@@ -1,6 +1,7 @@
 // Quickstart: elect an eventual leader with the paper's Figure 3 algorithm
 // on the deterministic simulator, then crash the leader and watch the
-// re-election.
+// re-election. The whole system is assembled and driven through the public
+// star API.
 //
 //	go run ./examples/quickstart
 package main
@@ -10,72 +11,49 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/netsim"
-	"repro/internal/proc"
-	"repro/internal/scenario"
-	"repro/internal/sim"
+	"repro/star"
 )
 
 func main() {
-	const (
-		n = 5 // processes
-		t = 2 // resilience: up to 2 crashes
+	// A 5-process cluster tolerating 2 crashes, running the paper's
+	// bounded algorithm (Figure 3) under the paper's A' — a rotating
+	// star whose points are, per round, either δ-timely or winning —
+	// centered at process 4 so we can crash lower-id processes.
+	c, err := star.New(
+		star.N(5), star.Resilience(2),
+		star.Algorithm(star.Fig3),
+		star.Scenario(star.Combined(star.Center(4))),
+		star.Seed(7),
 	)
-
-	// 1. Pick an assumption scenario: here the paper's A' (a rotating
-	//    star whose points are, per round, either δ-timely or winning),
-	//    centered at process 4 so we can crash lower-id processes.
-	sc, err := scenario.Combined(scenario.Params{N: n, T: t, Seed: 7, Center: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer c.Close()
 
-	// 2. Build the simulated network and one Figure 3 node per process.
-	sched := sim.NewScheduler()
-	net, err := netsim.New(sched, netsim.Config{N: n, Seed: 7, Policy: sc.Policy, Gate: sc.Gate})
-	if err != nil {
-		log.Fatal(err)
-	}
-	nodes := make([]*core.Node, n)
-	for id := 0; id < n; id++ {
-		nodes[id], err = core.NewNode(id, core.Config{
-			N: n, T: t,
-			Variant: core.VariantFig3, // the paper's final, bounded algorithm
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		net.Register(id, nodes[id])
-	}
-	net.StartAll()
-	sc.SetCrashedProbe(net.Crashed)
+	c.Run(5 * time.Second)
+	report(c)
 
-	// 3. Run for a while and inspect the elected leader.
-	sched.RunFor(5 * time.Second)
-	report(net, nodes, sched)
-
-	// 4. Crash the current leader; Ω must converge on a new correct one.
-	victim := nodes[0].Leader()
-	fmt.Printf("\n*** crashing the elected leader, process %d ***\n\n", victim)
-	net.CrashAt(victim, sched.Now())
-	sched.RunFor(10 * time.Second)
-	report(net, nodes, sched)
+	// Crash the current leader; Ω must converge on a new correct one.
+	leader, _ := c.Agreement()
+	fmt.Printf("\n*** crashing the elected leader, process %d ***\n\n", leader)
+	c.Crash(leader)
+	c.Run(10 * time.Second)
+	report(c)
 }
 
-func report(net *netsim.Network, nodes []*core.Node, sched *sim.Scheduler) {
-	fmt.Printf("t=%-6v leader estimates:", time.Duration(sched.Now()).Round(time.Millisecond))
-	for id, node := range nodes {
-		if net.Crashed(id) {
+func report(c *star.Cluster) {
+	fmt.Printf("t=%-6v leader estimates:", c.Now().Round(time.Millisecond))
+	for id, l := range c.Leaders() {
+		if l == star.None {
 			fmt.Printf("  p%d=†", id)
-			continue
+		} else {
+			fmt.Printf("  p%d→%d", id, l)
 		}
-		fmt.Printf("  p%d→%d", id, node.Leader())
 	}
 	fmt.Println()
-	for id, node := range nodes {
-		if !net.Crashed(proc.ID(id)) {
-			fmt.Printf("  p%d susp_level=%v timeout=%v\n", id, node.SuspLevel(), node.CurrentTimeout())
+	for id := 0; id < c.N(); id++ {
+		if !c.Crashed(id) {
+			fmt.Printf("  p%d susp_level=%v timeout=%v\n", id, c.SuspLevel(id), c.CurrentTimeout(id))
 		}
 	}
 }

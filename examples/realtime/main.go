@@ -1,6 +1,7 @@
 // Realtime: run the same Figure 3 nodes that the simulator drives, but live
-// — one goroutine per process, channel links with random delays, wall-clock
-// timers. Demonstrates that the algorithm code is transport-independent.
+// — one goroutine per process, channel links with seeded random delays,
+// wall-clock timers. Switching transports is one option: star.Live()
+// instead of the default star.Simulated().
 //
 //	go run ./examples/realtime
 package main
@@ -8,100 +9,54 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
-	"sync"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/proc"
-	"repro/internal/runtime"
+	"repro/star"
 )
 
 func main() {
-	const (
-		n = 4
-		t = 1
+	c, err := star.New(
+		star.N(4), star.Resilience(1),
+		star.Live(), // goroutines + channels instead of the simulator
+		star.AlivePeriod(5*time.Millisecond),
+		star.Scenario(star.Combined(star.BaseDelay(100*time.Microsecond, 2*time.Millisecond))),
 	)
-
-	// Random link delays up to 2ms (thread-safe: the delay function is
-	// called from many goroutines).
-	var mu sync.Mutex
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
-	delay := func(from, to proc.ID, msg any) time.Duration {
-		mu.Lock()
-		defer mu.Unlock()
-		return time.Duration(rng.Intn(2000)) * time.Microsecond
-	}
-
-	cluster, err := runtime.New(runtime.Config{N: n, Delay: delay})
 	if err != nil {
 		log.Fatal(err)
 	}
-	nodes := make([]*core.Node, n)
-	for id := 0; id < n; id++ {
-		nodes[id], err = core.NewNode(id, core.Config{
-			N: n, T: t,
-			Variant:     core.VariantFig3,
-			AlivePeriod: 5 * time.Millisecond,
-			TimeoutUnit: time.Millisecond,
-			Retention:   8192, // bound memory: this run is long-lived
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		cluster.Register(id, nodes[id])
-	}
-	cluster.Start()
-	defer cluster.Stop()
-
-	snapshot := func(label string) {
-		fmt.Printf("%-22s", label)
-		for id, node := range nodes {
-			if cluster.Crashed(id) {
-				fmt.Printf("  p%d=†", id)
-			} else {
-				fmt.Printf("  p%d→%d", id, node.Leader())
-			}
-		}
-		fmt.Println()
-	}
+	defer c.Close()
 
 	fmt.Println("live election over goroutines and channels:")
 	for i := 0; i < 4; i++ {
-		time.Sleep(250 * time.Millisecond)
-		snapshot(fmt.Sprintf("after %dms", (i+1)*250))
+		c.Run(250 * time.Millisecond) // live transport: Run sleeps wall time
+		snapshot(c, fmt.Sprintf("after %dms", (i+1)*250))
 	}
 
-	victim := nodes[0].Leader()
-	fmt.Printf("\ncrashing the leader, process %d...\n", victim)
-	cluster.Crash(victim)
+	leader, _ := c.Agreement()
+	fmt.Printf("\ncrashing the leader, process %d...\n", leader)
+	c.Crash(leader)
 
 	deadline := time.Now().Add(15 * time.Second)
 	for time.Now().Before(deadline) {
-		time.Sleep(250 * time.Millisecond)
-		if agreed, l := agreement(cluster, nodes); agreed && !cluster.Crashed(l) {
-			snapshot("re-elected")
-			fmt.Printf("\nnew leader: process %d\n", l)
+		c.Run(250 * time.Millisecond)
+		if next, ok := c.Agreement(); ok && next != leader {
+			snapshot(c, "re-elected")
+			fmt.Printf("\nnew leader: process %d\n", next)
 			return
 		}
 	}
-	snapshot("timeout")
+	snapshot(c, "timeout")
 	fmt.Println("no re-election within the deadline (unusually slow scheduling?)")
 }
 
-// agreement reports whether all live processes name the same live leader.
-func agreement(cluster *runtime.Cluster, nodes []*core.Node) (bool, proc.ID) {
-	leader := proc.None
-	for id, node := range nodes {
-		if cluster.Crashed(id) {
-			continue
-		}
-		l := node.Leader()
-		if leader == proc.None {
-			leader = l
-		} else if l != leader {
-			return false, proc.None
+func snapshot(c *star.Cluster, label string) {
+	fmt.Printf("%-22s", label)
+	for id, l := range c.Leaders() {
+		if l == star.None {
+			fmt.Printf("  p%d=†", id)
+		} else {
+			fmt.Printf("  p%d→%d", id, l)
 		}
 	}
-	return leader != proc.None, leader
+	fmt.Println()
 }

@@ -51,6 +51,11 @@ type Config struct {
 
 	// OnDeliver, when non-nil, observes every delivery in order.
 	OnDeliver func(d Delivery)
+
+	// OnDecide, when non-nil, observes every raw consensus decision of
+	// the dedicated consensus lane (slot instance, encoded key) before
+	// the broadcast layer interprets it. Observability only.
+	OnDecide func(inst, v int64)
 }
 
 func (c Config) withDefaults() Config {
@@ -104,10 +109,18 @@ func NewPair(cfg Config) (*Node, *consensus.Node, error) {
 		delivered: make(map[int64]bool),
 		decisions: make(map[int64]int64),
 	}
+	onDecide := n.onDecide
+	if cfg.OnDecide != nil {
+		outer := cfg.OnDecide
+		onDecide = func(inst, v int64) {
+			outer(inst, v)
+			n.onDecide(inst, v)
+		}
+	}
 	cons, err := consensus.New(consensus.Config{
 		N: cfg.N, T: cfg.T,
 		Oracle:   cfg.Oracle,
-		OnDecide: n.onDecide,
+		OnDecide: onDecide,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -21,6 +21,13 @@ type TimeFreeConfig struct {
 	// WindowSlots sizes the round-window ring (see core.Config); 0 means
 	// rounds.DefaultSlots.
 	WindowSlots int
+	// JoinCurrentRound makes the node adopt the round frontier from the
+	// first message it receives, mirroring core.Config.JoinCurrentRound:
+	// a churned incarnation would otherwise rejoin thousands of beacon
+	// rounds behind and starve every survivor's alpha quorum forever —
+	// the baseline diverged under churn by construction. Set on restarted
+	// incarnations only.
+	JoinCurrentRound bool
 }
 
 func (c TimeFreeConfig) withDefaults() TimeFreeConfig {
@@ -60,6 +67,7 @@ type TimeFreeNode struct {
 	suspPool     wire.SuspicionPool
 	maxRoundSeen int64
 	prunedBelow  int64
+	joined       bool
 	crashed      bool
 }
 
@@ -116,11 +124,30 @@ func (n *TimeFreeNode) OnMessage(from proc.ID, msg any) {
 	}
 	switch m := msg.(type) {
 	case *wire.Alive:
+		n.maybeJoin(m.RN)
 		n.onBeacon(from, m)
 	case *wire.Suspicion:
+		n.maybeJoin(m.RN)
 		n.onSuspicion(from, m)
 	default:
 		panic(fmt.Sprintf("baseline: timefree received %T", msg))
+	}
+}
+
+// maybeJoin performs the one-shot round synchronization of
+// Config.JoinCurrentRound (the core algorithm's rejoin rule, ported): on the
+// first message, jump both round counters to the peer's frontier so this
+// incarnation's beacons count toward its peers' current rounds again.
+func (n *TimeFreeNode) maybeJoin(rn int64) {
+	if n.joined || !n.cfg.JoinCurrentRound {
+		return
+	}
+	n.joined = true
+	if rn > n.rRN {
+		n.rRN = rn
+	}
+	if rn > n.sRN {
+		n.sRN = rn
 	}
 }
 

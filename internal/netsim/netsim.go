@@ -291,6 +291,12 @@ func (n *Network) CrashAt(id proc.ID, at sim.Time) {
 	n.sched.AtTyped(at, n, evCrash, uint64(uint32(id)), nil)
 }
 
+// Crash crashes process id immediately: equivalent to CrashAt(id, Now())
+// except the crash state applies before the call returns (Crashed(id) holds
+// afterwards), mirroring the runtime transport's synchronous Crash. Only
+// call it from outside the event loop (between scheduler runs).
+func (n *Network) Crash(id proc.ID) { n.crashNow(id) }
+
 func (n *Network) crashNow(id proc.ID) {
 	if n.crashed[id] {
 		return

@@ -1,0 +1,173 @@
+package rounds
+
+// Ring is the generic sibling of Window: a fixed-size ring of values indexed
+// by round number (rn mod width), with an exact overflow map for rounds that
+// lose (or never contend for) their slot. Window hard-codes the protocol
+// layer's rec_from/suspicions row shape; Ring carries any per-round value T
+// and lets the caller decide, via two small callbacks, how slots are recycled
+// and which evicted values must survive:
+//
+//   - reset prepares a slot's value for a new round in place (keeping
+//     internal buffers, e.g. a held-message slice's capacity). nil means
+//     "assign the zero value".
+//   - keep reports whether a value that is about to lose its slot still
+//     carries state that must remain reachable (it is then copied to the
+//     overflow map instead of recycled). nil means "never".
+//
+// The steady-state hot path — rounds arriving within the ring's width of the
+// frontier — performs no map operation and no allocation, which is what the
+// order gate (internal/scenario) needs at large n: its per-(receiver, round)
+// bookkeeping was the last round-keyed map on the simulation hot path.
+//
+// Like Window, a Ring is single-owner state: no locking, no concurrent use.
+// Round number 0 is reserved as the empty-slot sentinel (all protocol rounds
+// in this repository start at 1).
+type Ring[T any] struct {
+	mask     int64
+	rns      []int64
+	vals     []T
+	reset    func(*T)
+	keep     func(*T) bool
+	overflow map[int64]*T
+	stats    Stats
+}
+
+// NewRing creates a ring of at least slots entries (rounded up to a power of
+// two; 0 means DefaultSlots). See the type comment for reset and keep.
+func NewRing[T any](slots int, reset func(*T), keep func(*T) bool) *Ring[T] {
+	if slots <= 0 {
+		slots = DefaultSlots
+	}
+	w := 1
+	for w < slots {
+		w <<= 1
+	}
+	return &Ring[T]{
+		mask:  int64(w - 1),
+		rns:   make([]int64, w),
+		vals:  make([]T, w),
+		reset: reset,
+		keep:  keep,
+	}
+}
+
+// Width returns the ring's slot count.
+func (r *Ring[T]) Width() int64 { return r.mask + 1 }
+
+// Stats returns a snapshot of the ring counters.
+func (r *Ring[T]) Stats() Stats { return r.stats }
+
+// OverflowLen reports the overflow map's size (observability).
+func (r *Ring[T]) OverflowLen() int { return len(r.overflow) }
+
+// Get returns the value currently held for round rn, or nil. It never
+// creates or evicts anything.
+func (r *Ring[T]) Get(rn int64) *T {
+	i := rn & r.mask
+	if r.rns[i] == rn {
+		return &r.vals[i]
+	}
+	if r.overflow == nil {
+		return nil
+	}
+	if v := r.overflow[rn]; v != nil {
+		r.stats.OverflowHits++
+		return v
+	}
+	return nil
+}
+
+// Claim returns the value for round rn, creating storage for it if needed.
+// A newly created value is reset (or zeroed); an existing one is returned as
+// is. Rounds whose slot is owned by a newer round are served exactly from
+// the overflow map, so callers observe the same state a plain map would
+// give them — only the storage differs.
+func (r *Ring[T]) Claim(rn int64) *T {
+	i := rn & r.mask
+	if r.rns[i] == rn {
+		return &r.vals[i]
+	}
+	if r.rns[i] > rn {
+		return r.overflowClaim(rn)
+	}
+	if r.overflow != nil {
+		if v := r.overflow[rn]; v != nil {
+			// rn was evicted earlier; keep serving it from overflow
+			// (moving it back would just evict the resident).
+			r.stats.OverflowHits++
+			return v
+		}
+	}
+	r.evict(i)
+	r.rns[i] = rn
+	return &r.vals[i]
+}
+
+// evict clears slot i for a new owner, copying the old value to overflow
+// when keep says its state must stay reachable.
+func (r *Ring[T]) evict(i int64) {
+	if r.rns[i] != 0 && r.keep != nil && r.keep(&r.vals[i]) {
+		r.stats.Evictions++
+		if r.overflow == nil {
+			r.overflow = make(map[int64]*T)
+		}
+		moved := new(T)
+		*moved = r.vals[i]
+		r.overflow[r.rns[i]] = moved
+		// The old value's internal buffers now belong to the overflow
+		// copy; the slot restarts from zero.
+		var zero T
+		r.vals[i] = zero
+		return
+	}
+	if r.reset != nil {
+		r.reset(&r.vals[i])
+		return
+	}
+	var zero T
+	r.vals[i] = zero
+}
+
+// overflowClaim returns (creating if absent) the overflow value for rn.
+func (r *Ring[T]) overflowClaim(rn int64) *T {
+	r.stats.OverflowHits++
+	if r.overflow == nil {
+		r.overflow = make(map[int64]*T)
+	}
+	v := r.overflow[rn]
+	if v == nil {
+		v = new(T)
+		r.overflow[rn] = v
+	}
+	return v
+}
+
+// Drop discards round rn's value wherever it lives. Dropping a ring slot
+// recycles its value in place (reset), so internal buffers are retained.
+func (r *Ring[T]) Drop(rn int64) {
+	i := rn & r.mask
+	if r.rns[i] == rn {
+		r.rns[i] = 0
+		if r.reset != nil {
+			r.reset(&r.vals[i])
+		} else {
+			var zero T
+			r.vals[i] = zero
+		}
+		return
+	}
+	if r.overflow != nil {
+		delete(r.overflow, rn)
+	}
+}
+
+// PruneOverflow drops overflow values for rounds below the horizon, except
+// those keep still vouches for (values holding live state are never pruned;
+// the caller releases them first, exactly like Window's held rows).
+func (r *Ring[T]) PruneOverflow(below int64) {
+	for rn, v := range r.overflow {
+		if rn < below && (r.keep == nil || !r.keep(v)) {
+			delete(r.overflow, rn)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package rounds
+
+import "testing"
+
+// ringEntry mimics the order gate's per-(receiver, round) state: counters
+// plus a buffer whose capacity should survive recycling, and a "held" flag
+// that must survive eviction.
+type ringEntry struct {
+	count int
+	held  []int
+}
+
+func newTestRing(slots int) *Ring[ringEntry] {
+	return NewRing(slots,
+		func(e *ringEntry) { e.count = 0; e.held = e.held[:0] },
+		func(e *ringEntry) bool { return len(e.held) > 0 })
+}
+
+func TestRingClaimAndGet(t *testing.T) {
+	r := newTestRing(8)
+	if r.Width() != 8 {
+		t.Fatalf("width = %d, want 8", r.Width())
+	}
+	if r.Get(3) != nil {
+		t.Fatal("Get on empty ring returned a value")
+	}
+	e := r.Claim(3)
+	e.count = 7
+	if got := r.Get(3); got == nil || got.count != 7 {
+		t.Fatalf("Get(3) = %+v, want count 7", got)
+	}
+	if again := r.Claim(3); again != e {
+		t.Fatal("second Claim returned a different entry")
+	}
+	if r.OverflowLen() != 0 {
+		t.Fatalf("overflow used for in-window round: %d", r.OverflowLen())
+	}
+}
+
+// A recycled slot must present fresh state but keep its buffer capacity.
+func TestRingRecyclesSlots(t *testing.T) {
+	r := newTestRing(4)
+	e := r.Claim(1)
+	e.count = 5
+	e.held = append(e.held, 1, 2, 3)
+	e.held = e.held[:0] // released before eviction: recyclable
+	cap1 := cap(e.held)
+
+	e2 := r.Claim(5) // same slot (5 mod 4 == 1)
+	if e2.count != 0 || len(e2.held) != 0 {
+		t.Fatalf("recycled slot not reset: %+v", e2)
+	}
+	if cap(e2.held) != cap1 {
+		t.Fatalf("recycling lost buffer capacity: %d vs %d", cap(e2.held), cap1)
+	}
+	if r.Stats().Evictions != 0 {
+		t.Fatal("recycling a settled entry counted as an eviction")
+	}
+}
+
+// An entry with live held state must survive slot loss, exactly.
+func TestRingEvictsHeldStateToOverflow(t *testing.T) {
+	r := newTestRing(4)
+	e := r.Claim(2)
+	e.count = 9
+	e.held = append(e.held, 42)
+
+	r.Claim(6) // evicts round 2's slot
+	if r.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", r.Stats().Evictions)
+	}
+	moved := r.Get(2)
+	if moved == nil || moved.count != 9 || len(moved.held) != 1 || moved.held[0] != 42 {
+		t.Fatalf("evicted state lost: %+v", moved)
+	}
+	// The old round keeps being served from overflow even via Claim.
+	if r.Claim(2) != moved {
+		t.Fatal("Claim of evicted round did not return the overflow value")
+	}
+	// A settled resident is recycled silently when the slot moves on.
+	r.Claim(10) // evicts settled round 6 in place
+	if r.Get(6) != nil {
+		t.Fatal("settled round kept state past its slot")
+	}
+	if r.Stats().Evictions != 1 {
+		t.Fatal("settled recycle miscounted as an eviction")
+	}
+}
+
+func TestRingDropAndPrune(t *testing.T) {
+	r := newTestRing(4)
+	r.Claim(1).count = 1
+	r.Claim(2).held = append(r.Claim(2).held, 1) // held: prune must spare it
+	r.Claim(6)                                   // evicts 2 to overflow
+	if r.OverflowLen() != 1 {
+		t.Fatalf("overflow = %d, want 1", r.OverflowLen())
+	}
+	r.PruneOverflow(100)
+	if r.OverflowLen() != 1 {
+		t.Fatal("prune removed a held entry")
+	}
+	r.Get(2).held = r.Get(2).held[:0] // release
+	r.PruneOverflow(100)
+	if r.OverflowLen() != 0 {
+		t.Fatal("prune spared a settled entry")
+	}
+	// Drop clears both ring slots and overflow entries.
+	r.Drop(1)
+	if r.Get(1) != nil {
+		t.Fatal("Drop left the slot populated")
+	}
+}
+
+func TestRingZeroRoundIsEmptySentinel(t *testing.T) {
+	r := newTestRing(4)
+	r.Claim(4).count = 3 // slot 0
+	if got := r.Get(4); got == nil || got.count != 3 {
+		t.Fatal("slot 0 unusable")
+	}
+	if r.Get(8) != nil {
+		t.Fatal("empty-sentinel confusion: round 8 reported present")
+	}
+}

@@ -32,7 +32,7 @@ type Config struct {
 
 // event is one unit of work for a process goroutine.
 type event struct {
-	kind int // 0 message, 1 timer, 2 crash
+	kind int // 0 message, 1 timer
 	from proc.ID
 	msg  any
 	key  proc.TimerKey
@@ -73,7 +73,9 @@ func (c *Cluster) Register(id proc.ID, node proc.Node) {
 	c.nodes[id] = node
 }
 
-// Start launches every process goroutine and calls the nodes' Start.
+// Start runs every node's Start callback (synchronously, so the cluster is
+// fully initialized when Start returns) and launches the process
+// goroutines.
 func (c *Cluster) Start() {
 	if c.started {
 		panic("runtime: double Start")
@@ -85,6 +87,13 @@ func (c *Cluster) Start() {
 		}
 	}
 	for id := range c.nodes {
+		env := c.envs[id]
+		env.node = c.nodes[id]
+		env.handleMu.Lock()
+		env.node.Start(env)
+		env.handleMu.Unlock()
+	}
+	for id := range c.nodes {
 		c.wg.Add(1)
 		go c.runProcess(id)
 	}
@@ -94,8 +103,6 @@ func (c *Cluster) Start() {
 func (c *Cluster) runProcess(id proc.ID) {
 	defer c.wg.Done()
 	env := c.envs[id]
-	env.node = c.nodes[id]
-	env.node.Start(env)
 	for {
 		ev, ok := env.box.pop(c.stopped)
 		if !ok {
@@ -111,13 +118,50 @@ func (c *Cluster) runProcess(id proc.ID) {
 }
 
 // Crash marks process id crashed: it stops sending, receiving, and firing
-// timers, like a crash-stop failure.
+// timers, like a crash-stop failure. The crash is applied synchronously
+// (serialized against the process's callbacks), so Crashed(id) holds when
+// Crash returns.
 func (c *Cluster) Crash(id proc.ID) {
-	c.envs[id].box.push(event{kind: 2})
+	env := c.envs[id]
+	env.handleMu.Lock()
+	defer env.handleMu.Unlock()
+	env.mu.Lock()
+	if env.crashed {
+		env.mu.Unlock()
+		return
+	}
+	env.crashed = true
+	for _, slot := range env.timers {
+		slot.gen++
+		if slot.timer != nil {
+			slot.timer.Stop()
+		}
+	}
+	node := env.node
+	env.mu.Unlock()
+	if cr, ok := node.(proc.Crashable); ok && node != nil {
+		cr.OnCrash()
+	}
 }
 
 // Crashed reports whether the process was crashed via Crash.
 func (c *Cluster) Crashed(id proc.ID) bool { return c.envs[id].isCrashed() }
+
+// Inspect runs f serialized against process id's callbacks: while f runs,
+// no message, timer or crash callback of that process executes, so f may
+// safely read (or, carefully, poke) the node's protocol state from any
+// goroutine. f must not call Inspect or block on the cluster.
+func (c *Cluster) Inspect(id proc.ID, f func()) {
+	c.LockProcess(id)
+	defer c.UnlockProcess(id)
+	f()
+}
+
+// LockProcess and UnlockProcess are Inspect's primitive form, for callers
+// that must avoid the closure: between them, no callback of process id
+// executes. Allocation-free.
+func (c *Cluster) LockProcess(id proc.ID)   { c.envs[id].handleMu.Lock() }
+func (c *Cluster) UnlockProcess(id proc.ID) { c.envs[id].handleMu.Unlock() }
 
 // Stop shuts the cluster down and waits for all process goroutines and
 // pending timers to finish. The cluster cannot be restarted.
@@ -136,6 +180,11 @@ type renv struct {
 	node    proc.Node
 	box     *mailbox
 	start   time.Time
+
+	// handleMu serializes node callbacks with Inspect: the consumer
+	// goroutine holds it across every callback, so Inspect callers get a
+	// consistent view of the protocol state. Uncontended in steady state.
+	handleMu sync.Mutex
 
 	mu      sync.Mutex
 	crashed bool
@@ -239,11 +288,13 @@ func (e *renv) stopAllTimers() {
 	}
 }
 
-// handle runs one event on the owning goroutine.
+// handle runs one event on the owning goroutine, serialized with Inspect.
 func (e *renv) handle(ev event) {
 	if e.isCrashed() {
 		return
 	}
+	e.handleMu.Lock()
+	defer e.handleMu.Unlock()
 	switch ev.kind {
 	case 0:
 		e.node.OnMessage(ev.from, ev.msg)
@@ -254,19 +305,6 @@ func (e *renv) handle(ev event) {
 		e.mu.Unlock()
 		if live {
 			e.node.OnTimer(ev.key)
-		}
-	case 2:
-		e.mu.Lock()
-		e.crashed = true
-		for _, slot := range e.timers {
-			slot.gen++
-			if slot.timer != nil {
-				slot.timer.Stop()
-			}
-		}
-		e.mu.Unlock()
-		if cr, ok := e.node.(proc.Crashable); ok {
-			cr.OnCrash()
 		}
 	}
 }

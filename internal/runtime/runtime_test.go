@@ -212,13 +212,21 @@ func TestLiveLeaderElection(t *testing.T) {
 	cluster.Start()
 	defer cluster.Stop()
 
+	// leaderOf reads a node's estimate through Inspect, which serializes
+	// the read against the node's own callbacks (the supported way to
+	// observe live protocol state).
+	leaderOf := func(id proc.ID) proc.ID {
+		var l proc.ID
+		cluster.Inspect(id, func() { l = nodes[id].Leader() })
+		return l
+	}
 	agreeOnCorrect := func() bool {
 		leader := proc.None
-		for id, node := range nodes {
+		for id := range nodes {
 			if cluster.Crashed(id) {
 				continue
 			}
-			l := node.Leader()
+			l := leaderOf(id)
 			if cluster.Crashed(l) {
 				return false
 			}
@@ -235,7 +243,7 @@ func TestLiveLeaderElection(t *testing.T) {
 	}
 
 	// Crash the current leader; a new common correct leader must emerge.
-	victim := nodes[0].Leader()
+	victim := leaderOf(0)
 	cluster.Crash(victim)
 	if !waitFor(t, 20*time.Second, agreeOnCorrect) {
 		t.Fatalf("no re-election after crashing leader %d", victim)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/proc"
+	"repro/internal/rounds"
 	"repro/internal/sim"
 )
 
@@ -35,6 +36,17 @@ import (
 // including the receiver itself, i.e. after alpha-1 messages. For the
 // center's message to be counted it must arrive among the first alpha-1
 // messages, so at most alpha-2 others may precede it.
+//
+// Storage: the per-(receiver, round) state lives in one rounds.Ring per
+// receiver (rn mod gateRingSlots, entries recycled in place), not in a
+// round-keyed map — at large n the gate's map churn was the last per-message
+// allocation source on the hot path. Entries still carrying held messages
+// when a newer round claims their slot are moved to an exact overflow map
+// (rounds.Ring's keep callback), so holds are never lost; settled entries
+// (center delivered, competitors counted) are recycled, and messages tagged
+// with rounds more than the ring width behind the frontier pass the gate
+// unconstrained — the receiving algorithms discard such stale rounds at
+// arrival, so ordering them is moot.
 type winningGate struct {
 	params   Params
 	schedule StarSchedule
@@ -54,9 +66,8 @@ type winningGate struct {
 	// current leader (the chase target); see SetLeaderProbe.
 	leaderProbe func() proc.ID
 
-	state      map[gateKey]*gateEntry
-	loseHeld   map[proc.ID]*holdHeap
-	holdCount  map[gateKey]int // distinct held senders per (receiver, round)
+	state      []*rounds.Ring[gateEntry] // per receiver, indexed by rn
+	loseHeld   []holdHeap                // per receiver
 	lastBudget int
 	maxRN      int64
 	pruneLT    int64
@@ -83,20 +94,37 @@ func (h holdHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 func (h *holdHeap) Push(x any)        { *h = append(*h, x.(loseHold)) }
 func (h *holdHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
 
-type gateKey struct {
-	to proc.ID
-	rn int64
-}
-
+// gateEntry is the order bookkeeping for one (receiver, round) pair.
 type gateEntry struct {
 	centerDone bool
-	others     int
+	others     int32
+	loseHolds  int32 // distinct senders currently lose-held for this round
 	held       []*netsim.Envelope
 }
 
-// gateRetention bounds how many rounds of gate state are kept behind the
-// newest observed round. Algorithms never wait more than a handful of rounds
-// behind the frontier, so this is generous.
+// live reports whether the entry still owns messages that must eventually be
+// released; such entries survive slot eviction and overflow pruning.
+func (e *gateEntry) live() bool { return len(e.held) > 0 || e.loseHolds > 0 }
+
+// recycle prepares the entry for a new round, keeping the held slice's
+// capacity.
+func (e *gateEntry) recycle() {
+	e.centerDone = false
+	e.others = 0
+	e.loseHolds = 0
+	e.held = e.held[:0]
+}
+
+// gateRingSlots is the per-receiver ring width: it must exceed the round
+// skew between in-flight message tags and the frontier in every execution
+// that still consults the entries (receivers discard rounds behind their
+// receiving round, so deeper history has no observable order).
+const gateRingSlots = 256
+
+// gateRetention bounds how many rounds of overflow state are kept behind the
+// newest observed round. Held messages are never pruned: an entry with holds
+// is released first (center crash, round passage or delivery), so pruning
+// only removes settled entries far behind the frontier.
 const gateRetention = 4096
 
 func newWinningGate(p Params, schedule StarSchedule, tag TagFunc, alpha int) *winningGate {
@@ -104,14 +132,17 @@ func newWinningGate(p Params, schedule StarSchedule, tag TagFunc, alpha int) *wi
 	if limit < 0 {
 		limit = 0
 	}
+	state := make([]*rounds.Ring[gateEntry], p.N)
+	for i := range state {
+		state[i] = rounds.NewRing(gateRingSlots, (*gateEntry).recycle, (*gateEntry).live)
+	}
 	return &winningGate{
 		params:     p,
 		schedule:   schedule,
 		tag:        tag,
 		limit:      limit,
-		state:      make(map[gateKey]*gateEntry),
-		loseHeld:   make(map[proc.ID]*holdHeap),
-		holdCount:  make(map[gateKey]int),
+		state:      state,
+		loseHeld:   make([]holdHeap, p.N),
 		lastBudget: p.N, // recomputed on first use
 	}
 }
@@ -141,6 +172,13 @@ func (g *winningGate) loseBudget() int {
 	return g.params.N - g.params.Alpha - crashed
 }
 
+// stale reports whether round rn is too far behind the frontier for its
+// reception order to matter: the entry's slot has been recycled, and every
+// receiving algorithm discards messages that many rounds behind.
+func (g *winningGate) stale(rn int64) bool {
+	return rn+gateRingSlots <= g.maxRN
+}
+
 // OnArrival implements netsim.Gate.
 func (g *winningGate) OnArrival(ev *netsim.Envelope, now sim.Time) bool {
 	if ev.Released {
@@ -158,6 +196,9 @@ func (g *winningGate) OnArrival(ev *netsim.Envelope, now sim.Time) bool {
 	if g.crashed != nil && (g.crashed(center) || g.crashed(ev.To)) {
 		return true
 	}
+	if g.stale(rn) {
+		return true
+	}
 
 	// Lose holds: the attacked sender's round-rn message must miss the
 	// receiver's round-rn guard. Per (receiver, round), only as many
@@ -168,19 +209,14 @@ func (g *winningGate) OnArrival(ev *netsim.Envelope, now sim.Time) bool {
 	if g.roundProbe != nil {
 		budget := g.loseBudget()
 		if rank := g.loseRank(ev, rn); rank > 0 && rank <= budget {
-			key := gateKey{ev.To, rn}
-			if g.holdCount[key] >= budget {
+			e := g.state[ev.To].Claim(rn)
+			if int(e.loseHolds) >= budget {
 				return true // round's starvation budget exhausted
 			}
 			if r := g.roundProbe(ev.To); r >= 0 && rn >= r {
 				g.holdsLose++
-				g.holdCount[key]++
-				hh := g.loseHeld[ev.To]
-				if hh == nil {
-					hh = &holdHeap{}
-					g.loseHeld[ev.To] = hh
-				}
-				heap.Push(hh, loseHold{ev: ev, rank: rank, rn: rn})
+				e.loseHolds++
+				heap.Push(&g.loseHeld[ev.To], loseHold{ev: ev, rank: rank, rn: rn})
 				return false
 			}
 			return true
@@ -191,8 +227,8 @@ func (g *winningGate) OnArrival(ev *netsim.Envelope, now sim.Time) bool {
 	if ev.From == center || g.schedule.Mode(rn, ev.To) != ModeWinning {
 		return true
 	}
-	e := g.entry(gateKey{ev.To, rn})
-	if e.centerDone || e.others < g.limit {
+	e := g.state[ev.To].Claim(rn)
+	if e.centerDone || int(e.others) < g.limit {
 		return true
 	}
 	g.holdsWinning++
@@ -226,6 +262,22 @@ func (g *winningGate) loseRank(ev *netsim.Envelope, rn int64) int {
 	return 0
 }
 
+// decLose undoes one lose-hold count on (to, rn), dropping the entry when
+// nothing else keeps it alive (so released overflow entries free their
+// storage instead of waiting for the retention sweep).
+func (g *winningGate) decLose(to proc.ID, rn int64) {
+	e := g.state[to].Get(rn)
+	if e == nil {
+		return
+	}
+	if e.loseHolds--; e.loseHolds <= 0 {
+		e.loseHolds = 0
+		if !e.centerDone && e.others == 0 && len(e.held) == 0 {
+			g.state[to].Drop(rn)
+		}
+	}
+}
+
 // OnDelivered implements netsim.Gate.
 func (g *winningGate) OnDelivered(ev *netsim.Envelope, now sim.Time) []*netsim.Envelope {
 	var out []*netsim.Envelope
@@ -233,41 +285,35 @@ func (g *winningGate) OnDelivered(ev *netsim.Envelope, now sim.Time) []*netsim.E
 	// (heap-ordered, so only the releasable prefix is touched), plus a
 	// full sweep when the budget shrank (a crash happened).
 	if g.roundProbe != nil {
-		if hh := g.loseHeld[ev.To]; hh != nil && hh.Len() > 0 {
+		if hh := &g.loseHeld[ev.To]; hh.Len() > 0 {
 			r := g.roundProbe(ev.To)
 			for hh.Len() > 0 && (r < 0 || (*hh)[0].rn < r) {
 				h := heap.Pop(hh).(loseHold)
-				g.holdCount[gateKey{ev.To, h.rn}]--
-				if g.holdCount[gateKey{ev.To, h.rn}] <= 0 {
-					delete(g.holdCount, gateKey{ev.To, h.rn})
-				}
+				g.decLose(ev.To, h.rn)
 				out = append(out, h.ev)
 			}
 		}
 		if budget := g.loseBudget(); budget < g.lastBudget {
 			g.lastBudget = budget
 			// Sweep receivers in id order: releases append to out, so
-			// map-iteration order here would leak into delivery order
-			// and break same-seed determinism.
+			// iteration order here leaks into delivery order and must be
+			// deterministic.
 			for to := proc.ID(0); to < proc.ID(g.params.N); to++ {
-				hh := g.loseHeld[to]
-				if hh == nil {
+				hh := &g.loseHeld[to]
+				if hh.Len() == 0 {
 					continue
 				}
-				var keep holdHeap
+				keep := (*hh)[:0]
 				for _, h := range *hh {
 					if h.rank > budget {
-						g.holdCount[gateKey{to, h.rn}]--
-						if g.holdCount[gateKey{to, h.rn}] <= 0 {
-							delete(g.holdCount, gateKey{to, h.rn})
-						}
+						g.decLose(to, h.rn)
 						out = append(out, h.ev)
 					} else {
 						keep = append(keep, h)
 					}
 				}
-				heap.Init(&keep)
 				*hh = keep
+				heap.Init(hh)
 			}
 		} else if budget > g.lastBudget {
 			g.lastBudget = budget
@@ -279,12 +325,28 @@ func (g *winningGate) OnDelivered(ev *netsim.Envelope, now sim.Time) []*netsim.E
 		return out
 	}
 	if g.schedule.Mode(rn, ev.To) == ModeWinning {
-		key := gateKey{ev.To, rn}
-		e := g.entry(key)
+		if g.stale(rn) {
+			// The round is long dead: no new bookkeeping. But a very
+			// late center delivery must still free anything held before
+			// the round went stale — held envelopes survive eviction
+			// precisely so this release works (link reliability).
+			if ev.From == g.schedule.Center() {
+				if e := g.state[ev.To].Get(rn); e != nil && len(e.held) > 0 {
+					e.centerDone = true
+					out = append(out, e.held...)
+					e.held = e.held[:0]
+					if e.loseHolds == 0 {
+						g.state[ev.To].Drop(rn)
+					}
+				}
+			}
+			return out
+		}
+		e := g.state[ev.To].Claim(rn)
 		if ev.From == g.schedule.Center() {
 			e.centerDone = true
 			out = append(out, e.held...)
-			e.held = nil
+			e.held = e.held[:0]
 		} else {
 			e.others++
 		}
@@ -292,18 +354,9 @@ func (g *winningGate) OnDelivered(ev *netsim.Envelope, now sim.Time) []*netsim.E
 	return out
 }
 
-func (g *winningGate) entry(k gateKey) *gateEntry {
-	e := g.state[k]
-	if e == nil {
-		e = &gateEntry{}
-		g.state[k] = e
-	}
-	return e
-}
-
-// note advances the pruning horizon. Held messages are never pruned: an
-// entry with held messages is released first (center crash or delivery), so
-// pruning only removes settled entries far behind the frontier.
+// note advances the frontier and, rarely, sweeps settled overflow entries
+// behind the retention horizon (live entries are spared by the rings' keep
+// callback).
 func (g *winningGate) note(rn int64) {
 	if rn <= g.maxRN {
 		return
@@ -313,10 +366,8 @@ func (g *winningGate) note(rn int64) {
 	if horizon <= g.pruneLT {
 		return
 	}
-	for k, e := range g.state {
-		if k.rn < horizon && len(e.held) == 0 {
-			delete(g.state, k)
-		}
+	for _, ring := range g.state {
+		ring.PruneOverflow(horizon)
 	}
 	g.pruneLT = horizon
 }

@@ -1,0 +1,93 @@
+package star
+
+import "fmt"
+
+// Delivery is one totally-ordered atomic-broadcast delivery.
+type Delivery struct {
+	// Slot is the consensus slot that sequenced the message.
+	Slot int64
+	// Sender is the broadcasting process; Payload its value.
+	Sender  int
+	Payload int64
+}
+
+// Propose submits value for the given consensus instance at process p.
+// Requires WithConsensus (or WithAtomicBroadcast). Consensus is
+// leader-driven and indulgent: it is safe always and terminates once the
+// eventual leader holds a proposal (Theorem 5 needs t < n/2).
+func (c *Cluster) Propose(p int, instance, value int64) error {
+	if p < 0 || p >= c.n {
+		return fmt.Errorf("%w: %d", ErrBadProcess, p)
+	}
+	if c.conss[p] == nil {
+		return fmt.Errorf("%w: WithConsensus", ErrNoApp)
+	}
+	if c.eng.crashed(p) {
+		return nil // a crashed process proposes nothing
+	}
+	c.eng.lock(p)
+	defer c.eng.unlock(p)
+	c.conss[p].Propose(instance, value)
+	return nil
+}
+
+// Decided returns process p's decision for the given consensus instance,
+// if it has learned one.
+func (c *Cluster) Decided(p int, instance int64) (int64, bool) {
+	if p < 0 || p >= c.n || c.conss[p] == nil {
+		return 0, false
+	}
+	c.eng.lock(p)
+	defer c.eng.unlock(p)
+	return c.conss[p].Decided(instance)
+}
+
+// Ballots returns the total number of consensus ballots started across all
+// processes (an effort metric; retries under leader churn raise it).
+func (c *Cluster) Ballots() uint64 {
+	var total uint64
+	for p := 0; p < c.n; p++ {
+		if c.conss[p] == nil {
+			continue
+		}
+		c.eng.lock(p)
+		total += c.conss[p].Ballots
+		c.eng.unlock(p)
+	}
+	return total
+}
+
+// Broadcast submits payload to the total-order broadcast at process p.
+// Requires WithAtomicBroadcast. Every correct process delivers the same
+// payloads in the same order (observed via the OnDeliver callback or
+// Deliveries).
+func (c *Cluster) Broadcast(p int, payload int64) error {
+	if p < 0 || p >= c.n {
+		return fmt.Errorf("%w: %d", ErrBadProcess, p)
+	}
+	if c.abs[p] == nil {
+		return fmt.Errorf("%w: WithAtomicBroadcast", ErrNoApp)
+	}
+	if c.eng.crashed(p) {
+		return nil
+	}
+	c.eng.lock(p)
+	defer c.eng.unlock(p)
+	c.abs[p].Broadcast(payload)
+	return nil
+}
+
+// Deliveries returns process p's ordered delivery log (a copy).
+func (c *Cluster) Deliveries(p int) []Delivery {
+	if p < 0 || p >= c.n || c.abs[p] == nil {
+		return nil
+	}
+	c.eng.lock(p)
+	defer c.eng.unlock(p)
+	log := c.abs[p].Log()
+	out := make([]Delivery, len(log))
+	for i, d := range log {
+		out[i] = Delivery{Slot: d.Slot, Sender: d.Sender, Payload: d.Payload}
+	}
+	return out
+}

@@ -1,0 +1,506 @@
+package star
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/abcast"
+	"repro/internal/baseline"
+	"repro/internal/check"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/proc"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// Cluster is a running (or runnable) system of N processes executing one of
+// the paper's eventual-leader algorithms under an assumption scenario, on
+// either transport. Build one with New, advance it with Run, inspect it
+// with the accessors, and release it with Close.
+//
+// Concurrency: on the simulated transport all activity happens inside Run
+// on the calling goroutine, so the only rule is not to call Cluster methods
+// concurrently with Run. On the live transport the cluster is internally
+// synchronized; accessors may be called from any goroutine.
+type Cluster struct {
+	cfg config
+	sc  *scenario.Scenario
+	n   int
+
+	eng engine
+
+	// Per-process protocol handles. The transport endpoint (entry in
+	// endpoints) is the registered node — a mux when application lanes
+	// are enabled. With churn, restarted incarnations replace their
+	// entries via the restart factory.
+	endpoints []proc.Node
+	oracles   []proc.LeaderOracle
+	cores     []*core.Node
+	conss     []*consensus.Node
+	abs       []*abcast.Node
+	rounders  []interface{ Rounds() (int64, int64) }
+	timers    []interface{ CurrentTimeout() time.Duration }
+
+	// mu guards the collector state and lifecycle flags (live transport:
+	// the sampler goroutine writes, Report reads). The read-only state
+	// accessors do not take it, so observers may call them freely.
+	mu               sync.Mutex
+	samples          []check.LeaderSample
+	bounds           *check.BoundTracker
+	timeoutSeries    [][]time.Duration
+	spreadViolations uint64
+	levelBuf         []int64
+	lastLeaders      []int
+	lastRounds       []int64
+	elapsed          time.Duration
+	closed           bool
+}
+
+// New builds a cluster from functional options. At minimum pass N; every
+// other aspect — resilience, algorithm, assumption scenario, transport,
+// seed, retention, churn, observers, application lanes — has a sensible
+// default. All validation happens here: errors wrap ErrInvalidParams,
+// ErrUnknownAlgorithm, ErrUnknownFamily or ErrUnsupported.
+func New(opts ...Option) (*Cluster, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o.apply(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.finish(); err != nil {
+		return nil, err
+	}
+
+	sc, err := cfg.spec.build(cfg.n, cfg.t, cfg.alpha, cfg.seed, cfg.churn)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{
+		cfg: cfg,
+		sc:  sc,
+		n:   cfg.n,
+
+		endpoints: make([]proc.Node, cfg.n),
+		oracles:   make([]proc.LeaderOracle, cfg.n),
+		cores:     make([]*core.Node, cfg.n),
+		conss:     make([]*consensus.Node, cfg.n),
+		abs:       make([]*abcast.Node, cfg.n),
+		rounders:  make([]interface{ Rounds() (int64, int64) }, cfg.n),
+		timers:    make([]interface{ CurrentTimeout() time.Duration }, cfg.n),
+
+		bounds:        check.NewBoundTracker(cfg.n),
+		timeoutSeries: make([][]time.Duration, cfg.n),
+		lastLeaders:   make([]int, cfg.n),
+		lastRounds:    make([]int64, cfg.n),
+	}
+	for i := range c.lastLeaders {
+		c.lastLeaders[i] = None
+	}
+
+	for id := 0; id < cfg.n; id++ {
+		if err := c.buildProcess(id, false); err != nil {
+			return nil, err
+		}
+	}
+
+	eng, err := cfg.transport.newEngine(c)
+	if err != nil {
+		return nil, err
+	}
+	// A transport whose engine has concurrent parts (the live sampler)
+	// installs itself before starting them; don't overwrite the pointer
+	// its goroutines already read.
+	if c.eng == nil {
+		c.eng = eng
+	}
+	return c, nil
+}
+
+// buildProcess constructs (or, under churn, reconstructs) process id's
+// protocol stack and installs it in the cluster tables. rejoin marks a
+// churned incarnation, which adopts its peers' round frontier instead of
+// counting from 1.
+func (c *Cluster) buildProcess(id int, rejoin bool) error {
+	p := c.sc.Params
+	var omega proc.Node
+	switch c.cfg.algo {
+	case Fig1, Fig2, Fig3, FG:
+		variant, err := core.ParseVariant(string(c.cfg.algo))
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrUnknownAlgorithm, err)
+		}
+		ccfg := core.Config{
+			N: p.N, T: p.T, Alpha: p.Alpha,
+			Variant:          variant,
+			AlivePeriod:      c.cfg.alivePeriod,
+			TimeoutUnit:      c.cfg.timeoutUnit,
+			Retention:        c.cfg.retention,
+			WindowSlots:      c.cfg.windowSlots(),
+			JoinCurrentRound: rejoin,
+		}
+		if variant == core.VariantFG {
+			// §7: the algorithm knows f and g (the scenario's).
+			ccfg.F = p.F
+			ccfg.G = p.G
+		}
+		node, err := core.NewNode(id, ccfg)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidParams, err)
+		}
+		omega = node
+		c.cores[id] = node
+	case Stable:
+		node, err := baseline.NewStable(baseline.StableConfig{
+			N:      p.N,
+			Period: c.cfg.alivePeriod,
+		})
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidParams, err)
+		}
+		omega = node
+		c.cores[id] = nil
+	case TimeFree:
+		node, err := baseline.NewTimeFree(baseline.TimeFreeConfig{
+			N: p.N, T: p.T, Alpha: p.Alpha,
+			Period:           c.cfg.alivePeriod,
+			Retention:        c.cfg.retention,
+			WindowSlots:      c.cfg.windowSlots(),
+			JoinCurrentRound: rejoin,
+		})
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidParams, err)
+		}
+		omega = node
+		c.cores[id] = nil
+	default:
+		return fmt.Errorf("%w: %q", ErrUnknownAlgorithm, c.cfg.algo)
+	}
+
+	oracle, ok := omega.(proc.LeaderOracle)
+	if !ok {
+		return fmt.Errorf("%w: algorithm %q exposes no leader oracle", ErrInvalidParams, c.cfg.algo)
+	}
+	c.oracles[id] = oracle
+	c.rounders[id], _ = omega.(interface{ Rounds() (int64, int64) })
+	c.timers[id], _ = omega.(interface{ CurrentTimeout() time.Duration })
+
+	endpoint := omega
+	if c.cfg.consensusEnabled {
+		id := id
+		var cons *consensus.Node
+		var ab *abcast.Node
+		var err error
+		onDecide := func(inst, v int64) {
+			if c.cfg.onDecide != nil {
+				c.cfg.onDecide(id, inst, v)
+			}
+			c.emit(Event{At: c.engNow(), Kind: EventDecide, Proc: id, Round: inst})
+		}
+		if c.cfg.abcastEnabled {
+			ab, cons, err = abcast.NewPair(abcast.Config{
+				N: p.N, T: p.T,
+				Oracle:   oracle.Leader,
+				OnDecide: onDecide,
+				OnDeliver: func(d abcast.Delivery) {
+					if c.cfg.onDeliver != nil {
+						c.cfg.onDeliver(id, Delivery{Slot: d.Slot, Sender: d.Sender, Payload: d.Payload})
+					}
+				},
+			})
+		} else {
+			cons, err = consensus.New(consensus.Config{
+				N: p.N, T: p.T,
+				Oracle:   oracle.Leader,
+				OnDecide: onDecide,
+			})
+		}
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidParams, err)
+		}
+		c.conss[id] = cons
+		c.abs[id] = ab
+		mux := proc.NewMux()
+		mux.AddLane(omega)
+		mux.AddLane(cons)
+		if ab != nil {
+			mux.AddLane(ab)
+		}
+		endpoint = mux
+	}
+	c.endpoints[id] = endpoint
+	return nil
+}
+
+// engNow returns cluster time, tolerating calls before the engine exists
+// (process construction happens first).
+func (c *Cluster) engNow() time.Duration {
+	if c.eng == nil {
+		return 0
+	}
+	return c.eng.now()
+}
+
+// emit delivers one event to the observer, if its class is observed.
+func (c *Cluster) emit(ev Event) {
+	if c.cfg.observer != nil && c.cfg.observeMask&ev.Kind != 0 {
+		c.cfg.observer(ev)
+	}
+}
+
+// collect is the sampling tick shared by both engines: it records one
+// leader sample, feeds the bound tracker and timeout series, and emits the
+// sampled event classes. The engine serializes each per-process read.
+func (c *Cluster) collect(at time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ls := check.LeaderSample{At: sim.Time(at), Leaders: make([]proc.ID, c.n)}
+	for id := 0; id < c.n; id++ {
+		if c.eng.crashed(id) {
+			ls.Leaders[id] = proc.None
+			c.lastLeaders[id] = None
+			continue
+		}
+		c.eng.lock(id)
+		ls.Leaders[id] = c.oracles[id].Leader()
+		if cn := c.cores[id]; cn != nil {
+			c.levelBuf = cn.SuspLevelInto(c.levelBuf)
+			c.bounds.Observe(c.levelBuf)
+			c.timeoutSeries[id] = append(c.timeoutSeries[id], cn.CurrentTimeout())
+		}
+		var roundAdv int64
+		if rd := c.rounders[id]; rd != nil {
+			if _, r := rd.Rounds(); r > c.lastRounds[id] {
+				c.lastRounds[id] = r
+				roundAdv = r
+			}
+		}
+		c.eng.unlock(id)
+		if roundAdv > 0 {
+			c.emit(Event{At: at, Kind: EventRoundAdvance, Proc: id, Round: roundAdv})
+		}
+		if l := ls.Leaders[id]; l != c.lastLeaders[id] {
+			c.lastLeaders[id] = l
+			c.emit(Event{At: at, Kind: EventLeaderChange, Proc: id, Leader: l})
+		}
+	}
+	c.samples = append(c.samples, ls)
+	c.emit(Event{At: at, Kind: EventSample, Proc: None})
+}
+
+// N returns the number of processes.
+func (c *Cluster) N() int { return c.n }
+
+// Transport names the transport in use ("sim" or "live").
+func (c *Cluster) Transport() string { return c.cfg.transport.String() }
+
+// ScenarioName returns the assumption family's name; ScenarioDescription a
+// one-line human-readable summary.
+func (c *Cluster) ScenarioName() string        { return c.sc.Name }
+func (c *Cluster) ScenarioDescription() string { return c.sc.Description }
+
+// Now returns elapsed cluster time: virtual on the simulated transport,
+// wall on the live one.
+func (c *Cluster) Now() time.Duration { return c.eng.now() }
+
+// Run advances the cluster by d — virtual time on the simulated transport
+// (returning when the horizon is reached), wall time on the live one
+// (sleeping). Call it repeatedly to interleave inspection and control with
+// execution.
+func (c *Cluster) Run(d time.Duration) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.mu.Unlock()
+	start := time.Now()
+	err := c.eng.run(d)
+	c.mu.Lock()
+	c.elapsed += time.Since(start)
+	c.mu.Unlock()
+	return err
+}
+
+// Leader returns process id's current leader estimate, or None when the
+// process is crashed or id is out of range.
+func (c *Cluster) Leader(id int) int {
+	if id < 0 || id >= c.n || c.eng.crashed(id) {
+		return None
+	}
+	c.eng.lock(id)
+	defer c.eng.unlock(id)
+	return c.oracles[id].Leader()
+}
+
+// Leaders returns every process's current leader estimate (None for
+// crashed processes).
+func (c *Cluster) Leaders() []int {
+	out := make([]int, c.n)
+	for id := range out {
+		out[id] = c.Leader(id)
+	}
+	return out
+}
+
+// Agreement reports whether all live processes currently name the same
+// live leader, and that leader.
+func (c *Cluster) Agreement() (int, bool) {
+	leader := None
+	for id := 0; id < c.n; id++ {
+		if c.eng.crashed(id) {
+			continue
+		}
+		l := c.Leader(id)
+		if leader == None {
+			leader = l
+		} else if l != leader {
+			return None, false
+		}
+	}
+	if leader == None || c.eng.crashed(leader) {
+		return None, false
+	}
+	return leader, true
+}
+
+// Crash crashes process id now (crash-stop: it stops sending, receiving
+// and firing timers).
+func (c *Cluster) Crash(id int) error {
+	if id < 0 || id >= c.n {
+		return fmt.Errorf("%w: %d", ErrBadProcess, id)
+	}
+	c.eng.crash(id)
+	return nil
+}
+
+// Crashed reports whether process id is currently down; EverCrashed whether
+// it ever crashed (a churned process is faulty in the crash-stop model even
+// after it returns).
+func (c *Cluster) Crashed(id int) bool {
+	return id >= 0 && id < c.n && c.eng.crashed(id)
+}
+
+// EverCrashed reports whether process id ever crashed.
+func (c *Cluster) EverCrashed(id int) bool {
+	return id >= 0 && id < c.n && c.eng.everCrashed(id)
+}
+
+// SuspLevel returns a copy of process id's susp_level array (core
+// algorithms; nil otherwise).
+func (c *Cluster) SuspLevel(id int) []int64 {
+	if id < 0 || id >= c.n || c.cores[id] == nil || c.eng.crashed(id) {
+		return nil
+	}
+	c.eng.lock(id)
+	defer c.eng.unlock(id)
+	return c.cores[id].SuspLevel()
+}
+
+// CurrentTimeout returns process id's current receiving-round timeout
+// (0 for algorithms without timers).
+func (c *Cluster) CurrentTimeout(id int) time.Duration {
+	if id < 0 || id >= c.n || c.timers[id] == nil || c.eng.crashed(id) {
+		return 0
+	}
+	c.eng.lock(id)
+	defer c.eng.unlock(id)
+	return c.timers[id].CurrentTimeout()
+}
+
+// Rounds returns process id's sending and receiving round numbers (0, 0
+// for algorithms without rounds).
+func (c *Cluster) Rounds(id int) (sending, receiving int64) {
+	if id < 0 || id >= c.n || c.rounders[id] == nil || c.eng.crashed(id) {
+		return 0, 0
+	}
+	c.eng.lock(id)
+	defer c.eng.unlock(id)
+	return c.rounders[id].Rounds()
+}
+
+// Report computes the domain verdict from everything sampled so far: the
+// stabilization analysis over the leader timeline, the Theorem 4 bound
+// tracking, timeout stability, and the final per-process state.
+func (c *Cluster) Report() *Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep := &Report{BoundOK: true, TimeoutsStable: true}
+	st := check.AnalyzeLeaders(c.samples, func(id proc.ID) bool { return !c.eng.everCrashed(id) })
+	rep.Stabilization = stabilizationFrom(st)
+	rep.BoundB = c.bounds.B()
+	rep.MaxSuspLevel = c.bounds.MaxEver()
+	rep.BoundOK = c.bounds.BoundOK()
+	rep.SpreadViolations = c.spreadViolations
+	rep.FinalTimeouts = make([]time.Duration, c.n)
+	rep.LeaderAtEnd = make([]int, c.n)
+	rep.FinalLevels = make([][]int64, c.n)
+	for id := 0; id < c.n; id++ {
+		rep.LeaderAtEnd[id] = None
+		c.eng.lock(id)
+		if !c.eng.crashed(id) {
+			rep.LeaderAtEnd[id] = c.oracles[id].Leader()
+		}
+		if cn := c.cores[id]; cn != nil {
+			rep.FinalLevels[id] = cn.SuspLevel()
+			rep.FinalTimeouts[id] = cn.CurrentTimeout()
+			if _, r := cn.Rounds(); r-1 > rep.RoundsDone {
+				rep.RoundsDone = r - 1
+			}
+		}
+		c.eng.unlock(id)
+		if c.cores[id] != nil && !c.eng.everCrashed(id) && !check.TimeoutStable(c.timeoutSeries[id], 0.25) {
+			rep.TimeoutsStable = false
+		}
+	}
+	rep.Timeline = make([]LeaderSample, len(c.samples))
+	for i, s := range c.samples {
+		rep.Timeline[i] = LeaderSample{At: time.Duration(s.At), Leaders: s.Leaders}
+	}
+	return rep
+}
+
+// Metrics snapshots the cluster's mechanical counters.
+func (c *Cluster) Metrics() Metrics {
+	c.mu.Lock()
+	elapsed := c.elapsed
+	c.mu.Unlock()
+	m := Metrics{
+		Events:  c.eng.events(),
+		Net:     c.eng.netStats(),
+		Elapsed: elapsed,
+	}
+	m.GateHeldWinning, m.GateHeldLose = c.sc.GateStats()
+	for id := 0; id < c.n; id++ {
+		if cn := c.cores[id]; cn != nil {
+			if m.Nodes == nil {
+				m.Nodes = make([]NodeMetrics, c.n)
+			}
+			c.eng.lock(id)
+			m.Nodes[id] = nodeMetricsFrom(cn.Metrics())
+			c.eng.unlock(id)
+		}
+	}
+	return m
+}
+
+// Close releases the cluster: the live transport's goroutines and timers
+// are stopped; the simulated transport simply stops accepting Run. Close
+// is idempotent; Run after Close returns ErrClosed. State accessors and
+// Report keep working on the final state.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.eng.close()
+}

@@ -1,0 +1,72 @@
+// Package star is the public face of the repository: one API over the
+// paper's family of eventual-leader (Ω) algorithms, the assumption
+// scenarios they are correct under, both execution transports, and the
+// consensus / atomic-broadcast stack on top. User code imports this package
+// and nothing else.
+//
+// A cluster is assembled from functional options and driven explicitly:
+//
+//	c, err := star.New(
+//	        star.N(5), star.Resilience(2),
+//	        star.Algorithm(star.Fig3),
+//	        star.Scenario(star.Combined(star.Center(4))),
+//	        star.Seed(7),
+//	)
+//	if err != nil { ... }
+//	defer c.Close()
+//	c.Run(5 * time.Second)
+//	leader, ok := c.Agreement()
+//
+// # Scenarios
+//
+// A ScenarioSpec names one of the paper's eight assumption families —
+// AllTimely, TSource, MovingSource, Pattern, MovingPattern, Combined (the
+// paper's A'), Intermittent (the paper's A), IntermittentFG (§7) — plus its
+// knobs (Center, Gap, Delta, Drift, AdversarialOrder, Outages, CrashAt,
+// RotatingChurn, ...). The spec is pure data; the cluster contributes N,
+// Resilience, Alpha and Seed when it builds the scenario.
+//
+// # Transports
+//
+// The Transport option selects execution: Simulated() (default) runs on the
+// deterministic discrete-event simulator — virtual time, exact assumption
+// machinery, and every run a pure function of (options, seed) — while
+// Live() runs the same protocol code on one goroutine per process with
+// channel links and wall-clock timers. Run advances virtual time on the
+// former and sleeps on the latter; everything else reads identically.
+//
+// # Observation
+//
+// Three layers, from cheapest to richest:
+//
+//   - Accessors: Leader, Leaders, Agreement, SuspLevel, CurrentTimeout,
+//     Rounds, Crashed — point reads, safe between (sim) or during (live)
+//     Run calls.
+//   - Observe(mask, fn): a sampled event stream — leader changes, round
+//     advances, sampling ticks, crashes, restarts, consensus decisions.
+//   - Report() and Metrics(): the end-of-run domain verdict (stabilization
+//     analysis, Theorem 4 bound tracking, Lemma 8 spread violations,
+//     timeout stability, the full leader timeline) and the mechanical
+//     counters (events, traffic by kind, per-process protocol counters,
+//     order-gate interventions).
+//
+// # Memory
+//
+// By default per-round protocol bookkeeping is retained for DefaultRetention
+// rounds behind the frontier — far above the paper's suspicion-level bound,
+// so behaviour is unchanged while memory stays O(window) with zero
+// steady-state eviction traffic. UnboundedRetention() restores the paper's
+// keep-everything semantics (memory then grows with the round count).
+//
+// # Applications
+//
+// WithConsensus co-hosts a leader-driven indulgent consensus lane with Ω in
+// every process (Propose/Decided/Ballots); WithAtomicBroadcast stacks
+// total-order broadcast on top (Broadcast/Deliveries) — the paper's
+// motivating Ω → consensus → atomic broadcast → replicated-state-machine
+// chain, behind one multiplexed transport endpoint.
+//
+// The experiment harness (star/harness) and both command-line tools are
+// built on this package; the examples/ directory shows each feature in
+// ~15 lines.
+package star

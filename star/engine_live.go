@@ -1,0 +1,163 @@
+package star
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/sim"
+)
+
+// liveEngine drives a cluster on the goroutine runtime: one goroutine per
+// process, channel links with seeded random delays drawn from the
+// scenario's base-delay range, wall-clock timers. The engine starts the
+// processes at New time (wall clocks do not wait) and samples on its own
+// goroutine until Close.
+type liveEngine struct {
+	c  *Cluster
+	rt *runtime.Cluster
+
+	start       time.Time
+	crashTimers []*time.Timer
+
+	stop chan struct{}
+	done chan struct{}
+
+	mu             sync.Mutex
+	everCrashedSet []bool
+	closed         bool
+}
+
+func newLiveEngine(c *Cluster) (*liveEngine, error) {
+	p := c.sc.Params
+	if len(c.sc.Restarts) > 0 {
+		return nil, fmt.Errorf("%w: churn/restart schedules need the simulated transport", ErrUnsupported)
+	}
+	if c.cfg.checkSpread {
+		return nil, fmt.Errorf("%w: CheckSpread needs the simulated transport", ErrUnsupported)
+	}
+
+	// Seeded link delays from the scenario's asynchronous base range
+	// (spikes included). The assumption machinery — stars, order gates,
+	// adversaries — is simulator-only; a live network is plainly
+	// asynchronous.
+	rng := sim.NewRand(p.Seed ^ 0x6c697665)
+	var rngMu sync.Mutex
+	delay := func(from, to int, msg any) time.Duration {
+		rngMu.Lock()
+		defer rngMu.Unlock()
+		if rng.Bool(p.SpikeProb) {
+			return rng.Duration(p.SpikeLo, p.SpikeHi)
+		}
+		return rng.Duration(p.BaseLo, p.BaseHi)
+	}
+
+	rt, err := runtime.New(runtime.Config{N: p.N, Delay: delay})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidParams, err)
+	}
+	e := &liveEngine{
+		c:              c,
+		rt:             rt,
+		start:          time.Now(),
+		stop:           make(chan struct{}),
+		done:           make(chan struct{}),
+		everCrashedSet: make([]bool, p.N),
+	}
+	for id := 0; id < p.N; id++ {
+		rt.Register(id, c.endpoints[id])
+	}
+	// Install the engine before anything concurrent (sampler, crash
+	// timers) can observe the cluster: both reach c.eng through collect
+	// and emit. New keeps this assignment (it re-checks for nil only).
+	c.eng = e
+	rt.Start()
+
+	// The scenario's crash schedule, on wall-clock timers.
+	for _, cr := range c.sc.Crashes {
+		id := cr.ID
+		at := time.Duration(cr.At)
+		e.crashTimers = append(e.crashTimers, time.AfterFunc(at, func() {
+			e.crash(id)
+		}))
+	}
+
+	// The sampling goroutine: collect drives the same analysis pipeline
+	// as the simulated transport, at wall-clock granularity.
+	go func() {
+		defer close(e.done)
+		t := time.NewTicker(c.cfg.sampleEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-e.stop:
+				return
+			case <-t.C:
+				c.collect(e.now())
+			}
+		}
+	}()
+	return e, nil
+}
+
+func (e *liveEngine) run(d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-e.stop:
+		return ErrClosed
+	}
+}
+
+func (e *liveEngine) now() time.Duration { return time.Since(e.start) }
+
+// lock/unlock serialize the caller against process id's callback loop via
+// the runtime's inspection lock, so protocol state reads are race-free
+// under live concurrency.
+func (e *liveEngine) lock(id int)   { e.rt.LockProcess(id) }
+func (e *liveEngine) unlock(id int) { e.rt.UnlockProcess(id) }
+
+func (e *liveEngine) crash(id int) {
+	e.mu.Lock()
+	e.everCrashedSet[id] = true
+	e.mu.Unlock()
+	e.rt.Crash(id)
+	// Serialize the emission with the sampler's (the collector mutex is
+	// the live transport's observer serialization point).
+	e.c.mu.Lock()
+	e.c.emit(Event{At: e.now(), Kind: EventCrash, Proc: id})
+	e.c.mu.Unlock()
+}
+
+func (e *liveEngine) crashed(id int) bool { return e.rt.Crashed(id) }
+
+func (e *liveEngine) everCrashed(id int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.everCrashedSet[id]
+}
+
+func (e *liveEngine) events() uint64     { return 0 }
+func (e *liveEngine) netStats() NetStats { return NetStats{} }
+
+func (e *liveEngine) close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	for _, t := range e.crashTimers {
+		t.Stop()
+	}
+	close(e.stop)
+	<-e.done
+	e.rt.Stop()
+	return nil
+}
+
+var _ engine = (*liveEngine)(nil)

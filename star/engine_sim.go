@@ -1,0 +1,174 @@
+package star
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/netsim"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// simEngine drives a cluster on the deterministic discrete-event simulator.
+// Everything — message delays, order gates, crash and churn schedules, the
+// sampling tick — happens in virtual time inside Run, on the caller's
+// goroutine.
+type simEngine struct {
+	c     *Cluster
+	sched *sim.Scheduler
+	net   *netsim.Network
+}
+
+func newSimEngine(c *Cluster) (*simEngine, error) {
+	p := c.sc.Params
+	sched := sim.NewScheduler()
+	net, err := netsim.New(sched, netsim.Config{
+		N:      p.N,
+		Seed:   p.Seed,
+		Policy: c.sc.Policy,
+		Gate:   c.sc.Gate,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidParams, err)
+	}
+	e := &simEngine{c: c, sched: sched, net: net}
+
+	for id := 0; id < p.N; id++ {
+		net.Register(id, c.endpoints[id])
+	}
+
+	// Wire the adversary's introspection probes. The scenario's order and
+	// lose adversaries observe the system through these; consumers of the
+	// public API never see them.
+	c.sc.SetCrashedProbe(net.Crashed)
+	c.sc.SetRoundProbe(func(q proc.ID) int64 {
+		if rd := c.rounders[q]; rd != nil {
+			_, r := rd.Rounds()
+			return r
+		}
+		return -1
+	})
+	c.sc.SetLeaderProbe(func() proc.ID {
+		// The adversary observes the leader estimate of the lowest-id
+		// correct process and chases it.
+		for id := 0; id < p.N; id++ {
+			if !net.Crashed(id) {
+				return c.oracles[id].Leader()
+			}
+		}
+		return proc.None
+	})
+	c.sc.SetTimeoutProbe(func() time.Duration {
+		var max time.Duration
+		for id := 0; id < p.N; id++ {
+			if net.Crashed(id) {
+				continue
+			}
+			if tp := c.timers[id]; tp != nil {
+				if to := tp.CurrentTimeout(); to > max {
+					max = to
+				}
+			}
+		}
+		return max
+	})
+
+	// Staggered starts: processes boot within [0, StartSpread].
+	jitter := sim.NewRand(p.Seed ^ 0x737461727453)
+	for id := 0; id < p.N; id++ {
+		net.StartAt(id, sim.Time(jitter.Duration(0, c.cfg.startSpread)))
+	}
+	for _, cr := range c.sc.Crashes {
+		net.CrashAt(cr.ID, cr.At)
+		if c.cfg.observer != nil && c.cfg.observeMask&EventCrash != 0 {
+			id := cr.ID
+			sched.At(cr.At, func() {
+				c.emit(Event{At: time.Duration(sched.Now()), Kind: EventCrash, Proc: id})
+			})
+		}
+	}
+	// Churn: every restart brings up a fresh incarnation built like the
+	// original process; the cluster's tables follow so probes, accessors
+	// and end-of-run collection observe the live incarnation. The config
+	// was validated when the initial processes were built, so the factory
+	// cannot fail.
+	for _, r := range c.sc.Restarts {
+		id := r.ID
+		net.RestartAt(id, r.At, func() proc.Node {
+			if err := c.buildProcess(id, true); err != nil {
+				panic(fmt.Sprintf("star: rebuilding process %d: %v", id, err))
+			}
+			return c.endpoints[id]
+		})
+		if c.cfg.observer != nil && c.cfg.observeMask&EventRestart != 0 {
+			sched.At(r.At, func() {
+				c.emit(Event{At: time.Duration(sched.Now()), Kind: EventRestart, Proc: id})
+			})
+		}
+	}
+
+	// Lemma 8 spread checking after every delivery (the pseudocode's
+	// statement blocks are atomic; deliveries are our state boundaries).
+	// The probe reads susp_level through a reused scratch buffer so
+	// checking costs no allocation per event.
+	if c.cfg.checkSpread {
+		var spreadBuf []int64
+		net.OnDeliver = func(ev *netsim.Envelope) {
+			if cn := c.cores[ev.To]; cn != nil {
+				spreadBuf = cn.SuspLevelInto(spreadBuf)
+				if !check.SpreadOK(spreadBuf) {
+					c.spreadViolations++
+				}
+			}
+		}
+	}
+
+	// The periodic observation tick.
+	var tick func()
+	tick = func() {
+		c.collect(time.Duration(sched.Now()))
+		sched.After(c.cfg.sampleEvery, tick)
+	}
+	sched.After(c.cfg.sampleEvery, tick)
+
+	return e, nil
+}
+
+func (e *simEngine) run(d time.Duration) error {
+	horizon := e.sched.Now().Add(d)
+	for e.sched.Now() < horizon {
+		e.sched.Run(horizon)
+		if e.sched.Processed > e.c.cfg.maxEvents {
+			return fmt.Errorf("%w: %d events executed at %v",
+				ErrEventBudget, e.sched.Processed, time.Duration(e.sched.Now()))
+		}
+		if e.sched.Pending() == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+func (e *simEngine) now() time.Duration { return time.Duration(e.sched.Now()) }
+
+// lock/unlock are no-ops: the simulator is single-threaded, so every call
+// site is already serialized with the process callbacks.
+func (e *simEngine) lock(id int)   {}
+func (e *simEngine) unlock(id int) {}
+
+func (e *simEngine) crash(id int) {
+	// Synchronous, like the live transport: Crashed(id) holds when
+	// Cluster.Crash returns. (Scheduled scenario crashes still flow
+	// through CrashAt in virtual time.)
+	e.net.Crash(id)
+	e.c.emit(Event{At: time.Duration(e.sched.Now()), Kind: EventCrash, Proc: id})
+}
+
+func (e *simEngine) crashed(id int) bool     { return e.net.Crashed(id) }
+func (e *simEngine) everCrashed(id int) bool { return e.net.EverCrashed(id) }
+func (e *simEngine) events() uint64          { return e.sched.Processed }
+func (e *simEngine) netStats() NetStats      { return netStatsFrom(e.net.Stats()) }
+func (e *simEngine) close() error            { return nil }
+
+var _ engine = (*simEngine)(nil)

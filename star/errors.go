@@ -1,0 +1,35 @@
+package star
+
+import "errors"
+
+// Sentinel errors. Every error returned by this package wraps one of these,
+// so callers branch with errors.Is instead of string matching.
+var (
+	// ErrInvalidParams marks a rejected configuration (bad N/T/alpha,
+	// malformed crash schedule, conflicting options, ...).
+	ErrInvalidParams = errors.New("star: invalid parameters")
+
+	// ErrUnknownAlgorithm marks an algorithm name outside Algorithms().
+	ErrUnknownAlgorithm = errors.New("star: unknown algorithm")
+
+	// ErrUnknownFamily marks an assumption-family name outside Families().
+	ErrUnknownFamily = errors.New("star: unknown assumption family")
+
+	// ErrClosed is returned by operations on a closed cluster.
+	ErrClosed = errors.New("star: cluster closed")
+
+	// ErrEventBudget is returned by Run when the simulated event budget
+	// (MaxEvents) is exhausted before the requested horizon.
+	ErrEventBudget = errors.New("star: event budget exhausted")
+
+	// ErrUnsupported marks an option or method the selected transport
+	// cannot provide (e.g. churn schedules on the live transport).
+	ErrUnsupported = errors.New("star: not supported by this transport")
+
+	// ErrNoApp is returned by application methods (Propose, Broadcast,
+	// ...) when the corresponding lane was not enabled at New time.
+	ErrNoApp = errors.New("star: application lane not enabled")
+
+	// ErrBadProcess marks a process id outside [0, N).
+	ErrBadProcess = errors.New("star: process id out of range")
+)

@@ -3,7 +3,7 @@ package harness
 import (
 	"time"
 
-	"repro/internal/scenario"
+	"repro/star"
 )
 
 // ChurnSpec parameterizes the churn-heavy preset (experiment CH): processes
@@ -52,12 +52,10 @@ func (s ChurnSpec) withDefaults() ChurnSpec {
 // late-round discards and perpetual re-suspicion on the survivors').
 func ChurnConfig(spec ChurnSpec) Config {
 	spec = spec.withDefaults()
-	params := scenario.WithChurn(
-		scenario.Params{N: spec.N, T: spec.T, Seed: spec.Seed},
-		spec.Start, spec.Period, spec.Downtime, spec.Duration)
 	return Config{
-		Family:   scenario.FamilyCombined,
-		Params:   params,
+		N: spec.N, T: spec.T, Seed: spec.Seed,
+		Scenario: star.Combined(
+			star.RotatingChurn(spec.Start, spec.Period, spec.Downtime, spec.Duration)),
 		Algo:     spec.Algo,
 		Duration: spec.Duration,
 	}

@@ -4,14 +4,13 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/scenario"
-	"repro/internal/sim"
+	"repro/star"
 )
 
 func TestRunConsensusCombined(t *testing.T) {
 	res, err := RunConsensus(ConsensusConfig{
-		Family:    scenario.FamilyCombined,
-		Params:    scenario.Params{N: 5, T: 2, Seed: 61},
+		N: 5, T: 2, Seed: 61,
+		Scenario:  star.Combined(),
 		Instances: 8,
 	})
 	if err != nil {
@@ -30,11 +29,8 @@ func TestRunConsensusCombined(t *testing.T) {
 
 func TestRunConsensusIntermittentWithCrash(t *testing.T) {
 	res, err := RunConsensus(ConsensusConfig{
-		Family: scenario.FamilyIntermittent,
-		Params: scenario.Params{
-			N: 5, T: 2, Seed: 67, D: 3,
-			Crashes: []scenario.Crash{{ID: 4, At: sim.Time(time.Second)}},
-		},
+		N: 5, T: 2, Seed: 67,
+		Scenario:  star.Intermittent(star.Gap(3), star.CrashAt(4, time.Second)),
 		Instances: 5,
 		Duration:  90 * time.Second,
 	})
@@ -50,10 +46,7 @@ func TestRunConsensusIntermittentWithCrash(t *testing.T) {
 }
 
 func TestRunConsensusRejectsBadResilience(t *testing.T) {
-	_, err := RunConsensus(ConsensusConfig{
-		Family: scenario.FamilyCombined,
-		Params: scenario.Params{N: 4, T: 2, Seed: 1},
-	})
+	_, err := RunConsensus(ConsensusConfig{N: 4, T: 2, Seed: 1})
 	if err == nil {
 		t.Fatal("t >= n/2 accepted")
 	}

@@ -6,7 +6,7 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/scenario"
+	"repro/star"
 )
 
 // domainSignature flattens every domain-visible metric of a Result into a
@@ -28,31 +28,32 @@ func domainSignature(r *Result) string {
 // TestRunDeterministicAcrossRepeats verifies the regression contract the
 // allocation-free scheduler and pooled network must preserve: the same seed
 // and config produce identical domain metrics — events executed, per-kind
-// message counters, stabilization verdict and time — on every run.
+// message counters, stabilization verdict and time — on every run, through
+// the star façade.
 func TestRunDeterministicAcrossRepeats(t *testing.T) {
 	cfgs := []Config{
 		{
-			Family:   scenario.FamilyCombined,
-			Params:   scenario.Params{N: 5, T: 2, Seed: 7},
+			N: 5, T: 2, Seed: 7,
+			Scenario: star.Combined(),
 			Algo:     AlgoFig3,
 			Duration: 3 * time.Second,
 		},
 		{
-			Family:   scenario.FamilyIntermittent,
-			Params:   scenario.Params{N: 4, T: 1, Seed: 99, D: 3},
+			N: 4, T: 1, Seed: 99,
+			Scenario: star.Intermittent(star.Gap(3)),
 			Algo:     AlgoFig2,
 			Duration: 3 * time.Second,
 		},
 		{
-			Family:   scenario.FamilyPattern,
-			Params:   scenario.Params{N: 5, T: 2, Seed: 13},
+			N: 5, T: 2, Seed: 13,
+			Scenario: star.Pattern(),
 			Algo:     AlgoTimeFree,
 			Duration: 3 * time.Second,
 		},
 	}
 	for _, cfg := range cfgs {
 		cfg := cfg
-		t.Run(string(cfg.Algo)+"/"+string(cfg.Family), func(t *testing.T) {
+		t.Run(string(cfg.Algo)+"/"+cfg.Scenario.Family(), func(t *testing.T) {
 			t.Parallel()
 			a, err := Run(cfg)
 			if err != nil {
@@ -76,9 +77,8 @@ func TestRunDeterministicAcrossRepeats(t *testing.T) {
 // same-config runs must agree on every counter.
 func TestRunConsensusDeterministic(t *testing.T) {
 	cfg := ConsensusConfig{
-		Family: scenario.FamilyIntermittent,
-		Params: scenario.Params{N: 5, T: 2, Seed: 42, D: 3,
-			Crashes: []scenario.Crash{{ID: 4, At: 1e9}}},
+		N: 5, T: 2, Seed: 42,
+		Scenario:  star.Intermittent(star.Gap(3), star.CrashAt(4, time.Second)),
 		Instances: 5,
 		Duration:  10 * time.Second,
 	}
@@ -104,7 +104,7 @@ func TestRunGridWorkerCountInvariance(t *testing.T) {
 	spec := GridSpec{
 		N: 4, T: 1, Seed: 21,
 		Duration: 2 * time.Second,
-		Families: []scenario.Family{scenario.FamilyTSource, scenario.FamilyIntermittent},
+		Families: []string{"tsource", "intermittent"},
 		Algos:    []Algorithm{AlgoFig2, AlgoFig3, AlgoStable},
 	}
 	seq := spec

@@ -4,7 +4,7 @@ import (
 	"time"
 
 	"repro/internal/par"
-	"repro/internal/scenario"
+	"repro/star"
 )
 
 // GridSpec configures the coverage grid (experiment C1): every algorithm
@@ -18,11 +18,11 @@ type GridSpec struct {
 	D int64
 	// Duration per cell. 0 means 120s.
 	Duration time.Duration
-	// Families and Algos default to all.
-	Families []scenario.Family
+	// Families (family names, see star.Families) and Algos default to all.
+	Families []string
 	Algos    []Algorithm
 	// Workers bounds the number of cells simulated concurrently; <= 0
-	// means one per CPU. Each cell owns its scheduler and random streams
+	// means one per CPU. Each cell owns its cluster and random streams
 	// and is seeded independently of the others, so the results are
 	// byte-identical for every worker count.
 	Workers int
@@ -30,7 +30,7 @@ type GridSpec struct {
 
 // GridCell is one grid outcome.
 type GridCell struct {
-	Family scenario.Family
+	Family string
 	Algo   Algorithm
 	Result *Result
 	Err    error
@@ -63,7 +63,7 @@ func RunGrid(spec GridSpec) []GridCell {
 		spec.Duration = 120 * time.Second
 	}
 	if spec.Families == nil {
-		spec.Families = scenario.Families()
+		spec.Families = star.Families()
 	}
 	if spec.Algos == nil {
 		spec.Algos = Algorithms()
@@ -72,42 +72,62 @@ func RunGrid(spec GridSpec) []GridCell {
 	par.ForEach(len(cells), spec.Workers, func(i int) {
 		fam := spec.Families[i/len(spec.Algos)]
 		algo := spec.Algos[i%len(spec.Algos)]
-		res, err := Run(GridCellConfig(spec, fam, algo))
+		cfg, err := gridCellConfig(spec, fam, algo)
+		if err != nil {
+			// A bad family name is this cell's failure, not the grid's.
+			cells[i] = GridCell{Family: fam, Algo: algo, Err: err}
+			return
+		}
+		res, err := Run(cfg)
 		cells[i] = GridCell{Family: fam, Algo: algo, Result: res, Err: err}
 	})
 	return cells
 }
 
 // GridCellConfig builds the Run configuration for one grid cell. Exposed so
-// tests and benchmarks can run individual cells.
-func GridCellConfig(spec GridSpec, fam scenario.Family, algo Algorithm) Config {
+// tests and benchmarks can run individual cells with statically known
+// family names; it panics on an unknown one (RunGrid instead records the
+// error in the cell).
+func GridCellConfig(spec GridSpec, fam string, algo Algorithm) Config {
+	cfg, err := gridCellConfig(spec, fam, algo)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+func gridCellConfig(spec GridSpec, fam string, algo Algorithm) (Config, error) {
 	if spec.D == 0 {
 		spec.D = 3
 	}
 	if spec.Duration == 0 {
 		spec.Duration = 120 * time.Second
 	}
-	params := scenario.Params{
-		N: spec.N, T: spec.T, Seed: spec.Seed,
-		D: spec.D,
-		// The adversary the family's assumption permits: a large δ (so
-		// order attacks dominate start-phase skew), unbounded spike
-		// drift and growing link outages on unconstrained links, and
-		// the reception-order attack (timely does not imply winning).
-		Delta:            20 * time.Millisecond,
-		Drift:            2 * time.Millisecond,
-		AdversarialOrder: true,
-		OutagePeriod:     4 * time.Second,
-		OutageBase:       100 * time.Millisecond,
+	// The adversary the family's assumption permits: a large δ (so order
+	// attacks dominate start-phase skew), unbounded spike drift and
+	// growing link outages on unconstrained links, and the
+	// reception-order attack (timely does not imply winning).
+	opts := []star.ScenarioOption{
+		star.Gap(spec.D),
+		star.Delta(20 * time.Millisecond),
+		star.Drift(2 * time.Millisecond),
+		star.AdversarialOrder(),
+		star.Outages(4*time.Second, 100*time.Millisecond),
 	}
-	if fam == scenario.FamilyIntermittentFG {
-		params.F = func(s int64) int64 { return s / 2 }
-		params.G = func(rn int64) time.Duration { return time.Duration(rn) * 20 * time.Microsecond }
+	if fam == "intermittentfg" {
+		opts = append(opts, star.Growth(
+			func(s int64) int64 { return s / 2 },
+			func(rn int64) time.Duration { return time.Duration(rn) * 20 * time.Microsecond },
+		))
+	}
+	sc, err := star.Family(fam, opts...)
+	if err != nil {
+		return Config{}, err
 	}
 	return Config{
-		Family:   fam,
-		Params:   params,
+		N: spec.N, T: spec.T, Seed: spec.Seed,
+		Scenario: sc,
 		Algo:     algo,
 		Duration: spec.Duration,
-	}
+	}, nil
 }

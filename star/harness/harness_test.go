@@ -4,8 +4,7 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/scenario"
-	"repro/internal/sim"
+	"repro/star"
 )
 
 // run is a test helper with common defaults.
@@ -18,26 +17,25 @@ func run(t *testing.T, cfg Config) *Result {
 	return res
 }
 
+// aPrimeFamilies are the A' special cases (every family the Figure 1
+// algorithm handles).
+func aPrimeFamilies() []string {
+	return []string{"tsource", "movingsource", "pattern", "movingpattern", "combined"}
+}
+
 // F1: every core variant elects a correct common leader under every A'
 // family (Figure 1's model and its special cases).
 func TestF1CoreVariantsStabilizeUnderAPrimeFamilies(t *testing.T) {
-	families := []scenario.Family{
-		scenario.FamilyTSource,
-		scenario.FamilyMovingSource,
-		scenario.FamilyPattern,
-		scenario.FamilyMovingPattern,
-		scenario.FamilyCombined,
-	}
 	algos := []Algorithm{AlgoFig1, AlgoFig2, AlgoFig3}
-	for _, fam := range families {
+	for _, fam := range aPrimeFamilies() {
 		for _, algo := range algos {
 			fam, algo := fam, algo
-			t.Run(string(fam)+"/"+string(algo), func(t *testing.T) {
+			t.Run(fam+"/"+string(algo), func(t *testing.T) {
 				t.Parallel()
 				res := run(t, Config{
-					Family: fam,
-					Params: scenario.Params{N: 5, T: 2, Seed: 11},
-					Algo:   algo,
+					N: 5, T: 2, Seed: 11,
+					Scenario: star.MustFamily(fam),
+					Algo:     algo,
 				})
 				if !res.Report.Stabilized {
 					t.Fatalf("%s under %s did not stabilize (changes=%d, leaders=%v)",
@@ -52,15 +50,13 @@ func TestF1CoreVariantsStabilizeUnderAPrimeFamilies(t *testing.T) {
 // still elects a correct leader even when the lowest ids crash.
 func TestF1StabilizesDespiteCrashes(t *testing.T) {
 	res := run(t, Config{
-		Family: scenario.FamilyCombined,
-		Params: scenario.Params{
-			N: 7, T: 3, Seed: 3, Center: 4,
-			Crashes: []scenario.Crash{
-				{ID: 0, At: sim.Time(2 * time.Second)},
-				{ID: 1, At: sim.Time(4 * time.Second)},
-				{ID: 5, At: sim.Time(6 * time.Second)},
-			},
-		},
+		N: 7, T: 3, Seed: 3,
+		Scenario: star.Combined(
+			star.Center(4),
+			star.CrashAt(0, 2*time.Second),
+			star.CrashAt(1, 4*time.Second),
+			star.CrashAt(5, 6*time.Second),
+		),
 		Algo:     AlgoFig3,
 		Duration: 30 * time.Second,
 	})
@@ -80,11 +76,10 @@ func TestF2IntermittentSeparatesFig1FromFig2(t *testing.T) {
 	// the lose adversary is genuinely slow: the last victim's suspicion
 	// level must cross the center's before leadership settles, and round
 	// rate drops as timeouts calibrate.
-	params := scenario.Params{N: 5, T: 2, Seed: 17, D: 4}
 	cfgFor := func(a Algorithm) Config {
 		return Config{
-			Family:   scenario.FamilyIntermittent,
-			Params:   params,
+			N: 5, T: 2, Seed: 17,
+			Scenario: star.Intermittent(star.Gap(4)),
 			Algo:     a,
 			Duration: 120 * time.Second,
 		}
@@ -114,13 +109,13 @@ func TestF2IntermittentSeparatesFig1FromFig2(t *testing.T) {
 // susp_level for the crashed process grows without bound on the same
 // schedule (the motivation for §6).
 func TestF3BoundedVariables(t *testing.T) {
-	params := scenario.Params{
-		N: 5, T: 2, Seed: 23, D: 3, Center: 1,
-		Crashes: []scenario.Crash{{ID: 3, At: sim.Time(3 * time.Second)}},
-	}
+	spec := star.Intermittent(
+		star.Gap(3), star.Center(1),
+		star.CrashAt(3, 3*time.Second),
+	)
 	res3 := run(t, Config{
-		Family:      scenario.FamilyIntermittent,
-		Params:      params,
+		N: 5, T: 2, Seed: 23,
+		Scenario:    spec,
 		Algo:        AlgoFig3,
 		Duration:    120 * time.Second,
 		CheckSpread: true,
@@ -139,8 +134,8 @@ func TestF3BoundedVariables(t *testing.T) {
 	}
 
 	res2 := run(t, Config{
-		Family:   scenario.FamilyIntermittent,
-		Params:   params,
+		N: 5, T: 2, Seed: 23,
+		Scenario: spec,
 		Algo:     AlgoFig2,
 		Duration: 120 * time.Second,
 	})
@@ -157,14 +152,15 @@ func TestF3BoundedVariables(t *testing.T) {
 // (which knows f and g) stabilizes while plain Figure 3 loses the center
 // protection and keeps raising suspicion levels.
 func TestF4FGGeneralization(t *testing.T) {
-	params := scenario.Params{
-		N: 5, T: 2, Seed: 29, D: 4,
-		F: func(s int64) int64 { return s / 2 },
-		G: func(rn int64) time.Duration { return time.Duration(rn) * 20 * time.Microsecond },
-	}
+	spec := star.IntermittentFG(
+		star.Gap(4),
+		star.Growth(
+			func(s int64) int64 { return s / 2 },
+			func(rn int64) time.Duration { return time.Duration(rn) * 20 * time.Microsecond }),
+	)
 	resFG := run(t, Config{
-		Family:   scenario.FamilyIntermittentFG,
-		Params:   params,
+		N: 5, T: 2, Seed: 29,
+		Scenario: spec,
 		Algo:     AlgoFG,
 		Duration: 120 * time.Second,
 	})
@@ -172,8 +168,8 @@ func TestF4FGGeneralization(t *testing.T) {
 		t.Errorf("fg did not stabilize under A_fg (changes=%d)", resFG.Report.Changes)
 	}
 	res3 := run(t, Config{
-		Family:   scenario.FamilyIntermittentFG,
-		Params:   params,
+		N: 5, T: 2, Seed: 29,
+		Scenario: spec,
 		Algo:     AlgoFig3,
 		Duration: 120 * time.Second,
 	})
@@ -189,8 +185,8 @@ func TestF4FGGeneralization(t *testing.T) {
 // Determinism: identical configurations produce identical results.
 func TestRunDeterministic(t *testing.T) {
 	cfg := Config{
-		Family:   scenario.FamilyIntermittent,
-		Params:   scenario.Params{N: 5, T: 2, Seed: 5, D: 2},
+		N: 5, T: 2, Seed: 5,
+		Scenario: star.Intermittent(star.Gap(2)),
 		Algo:     AlgoFig3,
 		Duration: 5 * time.Second,
 	}
@@ -209,8 +205,8 @@ func TestRunDeterministic(t *testing.T) {
 func TestSeedsDiffer(t *testing.T) {
 	mk := func(seed uint64) *Result {
 		return run(t, Config{
-			Family:   scenario.FamilyTSource,
-			Params:   scenario.Params{N: 5, T: 2, Seed: seed},
+			N: 5, T: 2, Seed: seed,
+			Scenario: star.TSource(),
 			Algo:     AlgoFig3,
 			Duration: 5 * time.Second,
 		})
@@ -233,13 +229,13 @@ func TestParseAlgorithm(t *testing.T) {
 }
 
 func TestRunRejectsBadConfig(t *testing.T) {
-	if _, err := Run(Config{Family: "bogus", Params: scenario.Params{N: 5, T: 2}, Algo: AlgoFig3}); err == nil {
+	if _, err := star.Family("bogus"); err == nil {
 		t.Error("bogus family accepted")
 	}
-	if _, err := Run(Config{Family: scenario.FamilyTSource, Params: scenario.Params{N: 5, T: 2}, Algo: "bogus"}); err == nil {
+	if _, err := Run(Config{N: 5, T: 2, Algo: "bogus"}); err == nil {
 		t.Error("bogus algorithm accepted")
 	}
-	if _, err := Run(Config{Family: scenario.FamilyTSource, Params: scenario.Params{N: 0, T: 0}, Algo: AlgoFig3}); err == nil {
+	if _, err := Run(Config{N: 0, T: 0, Algo: AlgoFig3}); err == nil {
 		t.Error("bad params accepted")
 	}
 }

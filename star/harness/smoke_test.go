@@ -3,14 +3,14 @@ package harness
 import (
 	"testing"
 
-	"repro/internal/scenario"
+	"repro/star"
 )
 
 func TestSmokeFig3TSource(t *testing.T) {
 	res, err := Run(Config{
-		Family: scenario.FamilyTSource,
-		Params: scenario.Params{N: 5, T: 2, Seed: 1},
-		Algo:   AlgoFig3,
+		N: 5, T: 2, Seed: 1,
+		Scenario: star.TSource(),
+		Algo:     AlgoFig3,
 	})
 	if err != nil {
 		t.Fatal(err)

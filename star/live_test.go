@@ -1,0 +1,108 @@
+package star_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/star"
+)
+
+// TestLiveTransportElects runs the same protocol code live: goroutines,
+// channels, wall-clock timers. Scheduling is nondeterministic, so the
+// assertions are behavioural (an election happens; crash-stop sticks), not
+// byte-exact. The race detector covers the Inspect-serialized accessors.
+func TestLiveTransportElects(t *testing.T) {
+	c, err := star.New(
+		star.N(4), star.Resilience(1),
+		star.Live(),
+		star.AlivePeriod(2*time.Millisecond),
+		star.SampleEvery(5*time.Millisecond),
+		star.Scenario(star.Combined(star.BaseDelay(100*time.Microsecond, 500*time.Microsecond),
+			star.Spikes(0.01, time.Millisecond, 2*time.Millisecond))),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	var leader int
+	for {
+		if err := c.Run(100 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		var ok bool
+		if leader, ok = c.Agreement(); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no live agreement within 10s: %v", c.Leaders())
+		}
+	}
+
+	if err := c.Crash(leader); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Crashed(leader) || !c.EverCrashed(leader) {
+		t.Fatal("crash not recorded")
+	}
+	deadline = time.Now().Add(20 * time.Second)
+	for {
+		if err := c.Run(100 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if next, ok := c.Agreement(); ok && next != leader {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no live re-election within 20s: %v", c.Leaders())
+		}
+	}
+
+	// The report pipeline works on wall-clock samples too.
+	rep := c.Report()
+	if rep.Samples == 0 {
+		t.Fatal("live sampler collected nothing")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLiveConsensus drives the consensus lane under true concurrency.
+func TestLiveConsensus(t *testing.T) {
+	c, err := star.New(
+		star.N(3), star.Resilience(1),
+		star.Live(),
+		star.AlivePeriod(2*time.Millisecond),
+		star.Scenario(star.Combined(star.BaseDelay(50*time.Microsecond, 300*time.Microsecond))),
+		star.WithConsensus(nil),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for p := 0; p < c.N(); p++ {
+		if err := c.Propose(p, 0, int64(100+p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if err := c.Run(50 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		v0, ok0 := c.Decided(0, 0)
+		v1, ok1 := c.Decided(1, 0)
+		v2, ok2 := c.Decided(2, 0)
+		if ok0 && ok1 && ok2 {
+			if v0 != v1 || v1 != v2 {
+				t.Fatalf("live consensus disagreement: %d %d %d", v0, v1, v2)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("live consensus did not decide within 15s")
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package star
+
+import "time"
+
+// EventKind is a bitmask selecting event classes for Observe.
+type EventKind uint32
+
+// The event classes.
+const (
+	// EventLeaderChange fires when a process's leader estimate differs
+	// from the previous observation of that process (sampled at
+	// SampleEvery granularity). Proc is the observing process, Leader the
+	// new estimate.
+	EventLeaderChange EventKind = 1 << iota
+	// EventRoundAdvance fires when a process's receiving round has
+	// advanced since the previous observation (sampled). Proc is the
+	// process, Round the receiving round reached.
+	EventRoundAdvance
+	// EventSample fires once per sampling tick, after any per-process
+	// events of that tick. Proc is None; observers typically read
+	// cluster state (Leaders, SuspLevel, Metrics) from the callback.
+	EventSample
+	// EventCrash fires when a scheduled or requested crash takes effect.
+	EventCrash
+	// EventRestart fires when a churned process returns as a fresh
+	// incarnation. Proc is the process.
+	EventRestart
+	// EventDecide fires on every consensus decision (WithConsensus).
+	// Proc is the deciding process, Round the instance number.
+	EventDecide
+
+	// EventAll selects every event class.
+	EventAll EventKind = 1<<iota - 1
+)
+
+// None is the sentinel "no process" value used in leader estimates and
+// events (a crashed process has no estimate; cluster-wide events have no
+// process).
+const None = -1
+
+// Event is one observation from the cluster's event stream. Which fields
+// are meaningful depends on Kind; unused fields are zero.
+type Event struct {
+	// At is the cluster time of the observation: virtual time on the
+	// simulated transport, elapsed wall time on the live one.
+	At time.Duration
+	// Kind is the event class (exactly one bit).
+	Kind EventKind
+	// Proc is the process the event concerns, or None.
+	Proc int
+	// Leader is the new leader estimate (EventLeaderChange).
+	Leader int
+	// Round is the receiving round (EventRoundAdvance) or the consensus
+	// instance (EventDecide).
+	Round int64
+}

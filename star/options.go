@@ -1,0 +1,297 @@
+package star
+
+import (
+	"fmt"
+	"time"
+)
+
+// Option configures a cluster. Options are applied in order by New; later
+// options override earlier ones. Transports (Simulated, Live) are options
+// too, so a full cluster reads as one call:
+//
+//	c, err := star.New(star.N(5), star.Resilience(2),
+//	        star.Algorithm(star.Fig3),
+//	        star.Scenario(star.Combined(star.Center(4))),
+//	        star.Seed(7))
+type Option interface {
+	apply(*config) error
+}
+
+type optionFunc func(*config) error
+
+func (f optionFunc) apply(c *config) error { return f(c) }
+
+// Defaults applied by New when the corresponding option is absent.
+const (
+	// DefaultRetention bounds per-round bookkeeping to this many rounds
+	// behind the frontier. It is far above the paper's level bound for
+	// every realistic gap (B+1+max F is a few dozen at most), so bounded
+	// retention is observation-equivalent to the paper-faithful unbounded
+	// default of earlier revisions — but runs in O(window) memory with
+	// zero steady-state eviction traffic. Use UnboundedRetention for
+	// paper-faithful unbounded history.
+	DefaultRetention = 512
+
+	DefaultAlivePeriod = 10 * time.Millisecond
+	DefaultTimeoutUnit = time.Millisecond
+	DefaultSampleEvery = 20 * time.Millisecond
+	DefaultStartSpread = 5 * time.Millisecond
+	DefaultMaxEvents   = 200_000_000
+)
+
+// config is the merged option set.
+type config struct {
+	n, t  int
+	tSet  bool
+	alpha int
+	seed  uint64
+	algo  Algo
+	spec  ScenarioSpec
+
+	transport Transport
+
+	alivePeriod time.Duration
+	timeoutUnit time.Duration
+	sampleEvery time.Duration
+	startSpread time.Duration
+	maxEvents   uint64
+
+	retention        int64 // 0 = default; <0 = unbounded
+	checkSpread      bool
+	churn            *churnWindows
+	observer         func(Event)
+	observeMask      EventKind
+	consensusEnabled bool
+	onDecide         func(p int, instance, value int64)
+	abcastEnabled    bool
+	onDeliver        func(p int, d Delivery)
+}
+
+func defaultConfig() config {
+	return config{
+		algo:        Fig3,
+		alivePeriod: DefaultAlivePeriod,
+		timeoutUnit: DefaultTimeoutUnit,
+		sampleEvery: DefaultSampleEvery,
+		startSpread: DefaultStartSpread,
+		maxEvents:   DefaultMaxEvents,
+	}
+}
+
+// finish fills derived defaults and validates cross-field invariants.
+func (c *config) finish() error {
+	if c.n < 2 {
+		return fmt.Errorf("%w: N must be >= 2, got %d (did you pass star.N?)", ErrInvalidParams, c.n)
+	}
+	if !c.tSet {
+		c.t = (c.n - 1) / 2
+	}
+	if c.t < 0 || c.t >= c.n {
+		return fmt.Errorf("%w: resilience T must be in [0,%d), got %d", ErrInvalidParams, c.n, c.t)
+	}
+	if c.alpha == 0 {
+		c.alpha = c.n - c.t
+	}
+	if c.alpha < 1 || c.alpha > c.n {
+		return fmt.Errorf("%w: alpha must be in [1,%d], got %d", ErrInvalidParams, c.n, c.alpha)
+	}
+	if _, err := ParseAlgorithm(string(c.algo)); err != nil {
+		return err
+	}
+	if c.retention == 0 {
+		c.retention = DefaultRetention
+	} else if c.retention < 0 {
+		c.retention = 0 // unbounded, the protocol layers' encoding
+	}
+	if c.transport == nil {
+		c.transport = Simulated()
+	}
+	return nil
+}
+
+// windowSlots sizes the protocol layers' ring windows so that, under bounded
+// retention, a row is always pruned before its slot is recycled — the
+// steady state then runs with zero eviction copies (O(window) memory).
+func (c *config) windowSlots() int {
+	if c.retention == 0 {
+		return 0 // unbounded history: protocol default ring, overflow absorbs
+	}
+	slots := 2 * c.retention
+	const maxSlots = 1 << 13
+	if slots > maxSlots {
+		slots = maxSlots
+	}
+	return int(slots)
+}
+
+// N sets the number of processes (required).
+func N(n int) Option {
+	return optionFunc(func(c *config) error { c.n = n; return nil })
+}
+
+// Resilience sets T, the maximum number of crashes tolerated.
+// Default: (N-1)/2.
+func Resilience(t int) Option {
+	return optionFunc(func(c *config) error { c.t = t; c.tSet = true; return nil })
+}
+
+// Alpha overrides the reception/suspicion threshold ("n-t" in the paper);
+// any lower bound on the number of correct processes is sound (footnote 5).
+// Default: N-T.
+func Alpha(a int) Option {
+	return optionFunc(func(c *config) error { c.alpha = a; return nil })
+}
+
+// Algorithm selects the Ω implementation. Default: Fig3.
+func Algorithm(a Algo) Option {
+	return optionFunc(func(c *config) error { c.algo = a; return nil })
+}
+
+// Scenario installs the assumption scenario. Default: Combined().
+func Scenario(spec ScenarioSpec) Option {
+	return optionFunc(func(c *config) error { c.spec = spec; return nil })
+}
+
+// Seed fixes the randomness seed. On the simulated transport the entire run
+// is a deterministic function of (options, seed); on the live transport the
+// seed feeds link delays but goroutine scheduling stays nondeterministic.
+func Seed(s uint64) Option {
+	return optionFunc(func(c *config) error { c.seed = s; return nil })
+}
+
+// Retention bounds per-round protocol bookkeeping to the given number of
+// rounds behind the frontier. It must comfortably exceed the suspicion-level
+// bound B+1 plus max F, or crash-detection liveness can be lost.
+// Default: DefaultRetention.
+func Retention(rounds int64) Option {
+	return optionFunc(func(c *config) error {
+		if rounds <= 0 {
+			return fmt.Errorf("%w: Retention must be positive, got %d (use UnboundedRetention for unbounded history)",
+				ErrInvalidParams, rounds)
+		}
+		c.retention = rounds
+		return nil
+	})
+}
+
+// UnboundedRetention keeps every round's bookkeeping forever — the paper's
+// pseudocode, faithfully. Memory grows with the round count.
+func UnboundedRetention() Option {
+	return optionFunc(func(c *config) error { c.retention = -1; return nil })
+}
+
+// AlivePeriod sets β, the ALIVE/beacon broadcast period.
+// Default: DefaultAlivePeriod.
+func AlivePeriod(d time.Duration) Option {
+	return optionFunc(func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("%w: AlivePeriod must be positive, got %v", ErrInvalidParams, d)
+		}
+		c.alivePeriod = d
+		return nil
+	})
+}
+
+// TimeoutUnit converts suspicion levels to round-timeout time.
+// Default: DefaultTimeoutUnit.
+func TimeoutUnit(d time.Duration) Option {
+	return optionFunc(func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("%w: TimeoutUnit must be positive, got %v", ErrInvalidParams, d)
+		}
+		c.timeoutUnit = d
+		return nil
+	})
+}
+
+// SampleEvery sets the observation period: leader estimates (and the event
+// stream) are sampled this often. Default: DefaultSampleEvery.
+func SampleEvery(d time.Duration) Option {
+	return optionFunc(func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("%w: SampleEvery must be positive, got %v", ErrInvalidParams, d)
+		}
+		c.sampleEvery = d
+		return nil
+	})
+}
+
+// StartSpread staggers process start times uniformly in [0, d].
+// Default: DefaultStartSpread.
+func StartSpread(d time.Duration) Option {
+	return optionFunc(func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("%w: StartSpread must be >= 0, got %v", ErrInvalidParams, d)
+		}
+		c.startSpread = d
+		return nil
+	})
+}
+
+// MaxEvents bounds the number of simulated events a cluster may execute
+// across all Run calls (a runaway-simulation guard; Run returns
+// ErrEventBudget past it). Default: DefaultMaxEvents.
+func MaxEvents(n uint64) Option {
+	return optionFunc(func(c *config) error { c.maxEvents = n; return nil })
+}
+
+// CheckSpread verifies the Lemma 8 spread invariant after every delivery
+// (core algorithms on the simulated transport only); violations are counted
+// in Report. Expensive; used by verification runs.
+func CheckSpread() Option {
+	return optionFunc(func(c *config) error { c.checkSpread = true; return nil })
+}
+
+// Churn schedules rotating churn over the non-center processes: starting at
+// start, every period the next victim crashes for downtime and returns as a
+// fresh incarnation; the rotation stops before until. Simulated transport
+// only. Equivalent to RotatingChurn on the scenario; the cluster-level
+// option overrides the scenario's.
+func Churn(start, period, downtime, until time.Duration) Option {
+	return optionFunc(func(c *config) error {
+		c.churn = &churnWindows{start: start, period: period, downtime: downtime, until: until}
+		return nil
+	})
+}
+
+// Observe installs the event observer for the event kinds in mask.
+// The callback runs synchronously on the transport's execution context:
+// virtual-time callbacks on the simulated transport (deterministic), the
+// sampler goroutine on the live one. It may use the read-only state
+// accessors (Leader, Leaders, SuspLevel, Rounds, Decided, ...) but must
+// not call Run, Crash, Close, Report or Metrics.
+func Observe(mask EventKind, fn func(Event)) Option {
+	return optionFunc(func(c *config) error {
+		if fn == nil {
+			return fmt.Errorf("%w: Observe needs a callback", ErrInvalidParams)
+		}
+		c.observer = fn
+		c.observeMask = mask
+		return nil
+	})
+}
+
+// WithConsensus co-hosts a leader-driven indulgent consensus lane with Ω in
+// every process (Theorem 5: it terminates given t < n/2 and the eventual
+// leader). onDecide, which may be nil, observes every local decision.
+// Enables Propose/Decided/Ballots on the cluster.
+func WithConsensus(onDecide func(p int, instance, value int64)) Option {
+	return optionFunc(func(c *config) error {
+		c.consensusEnabled = true
+		c.onDecide = onDecide
+		return nil
+	})
+}
+
+// WithAtomicBroadcast stacks total-order broadcast on repeated consensus
+// (implies WithConsensus): Ω → consensus → atomic broadcast, the paper's
+// motivating application stack. onDeliver, which may be nil, observes every
+// ordered delivery. Enables Broadcast/Deliveries on the cluster.
+func WithAtomicBroadcast(onDeliver func(p int, d Delivery)) Option {
+	return optionFunc(func(c *config) error {
+		c.consensusEnabled = true
+		c.abcastEnabled = true
+		c.onDeliver = onDeliver
+		return nil
+	})
+}

@@ -1,0 +1,74 @@
+package star
+
+import "time"
+
+// Transport selects how a cluster executes: on the deterministic
+// discrete-event simulator or live on goroutines with wall-clock timers.
+// The same protocol code runs unchanged on both. A Transport is itself an
+// Option, so it is passed straight to New:
+//
+//	star.New(star.N(5), star.Simulated())
+//	star.New(star.N(4), star.Live())
+type Transport interface {
+	Option
+	// String names the transport ("sim" or "live").
+	String() string
+
+	// newEngine builds the execution engine (sealed).
+	newEngine(c *Cluster) (engine, error)
+}
+
+// Simulated returns the deterministic simulator transport (the default):
+// virtual time, seeded delays, exact assumption machinery (delay policies,
+// order gates, crash/churn schedules). Run advances virtual time and the
+// whole run is a pure function of (options, seed).
+func Simulated() Transport { return simTransport{} }
+
+// Live returns the goroutine transport: one goroutine per process, channel
+// links with seeded random delays drawn from the scenario's base-delay
+// range, and wall-clock timers. Run sleeps. The assumption machinery
+// (stars, order gates, adversaries) and churn are simulator-only; the live
+// network is plainly asynchronous. It exists to demonstrate transport
+// independence and to exercise the protocols under real concurrency.
+func Live() Transport { return liveTransport{} }
+
+type simTransport struct{}
+
+func (simTransport) String() string          { return "sim" }
+func (t simTransport) apply(c *config) error { c.transport = t; return nil }
+func (t simTransport) newEngine(c *Cluster) (engine, error) {
+	return newSimEngine(c)
+}
+
+type liveTransport struct{}
+
+func (liveTransport) String() string          { return "live" }
+func (t liveTransport) apply(c *config) error { c.transport = t; return nil }
+func (t liveTransport) newEngine(c *Cluster) (engine, error) {
+	return newLiveEngine(c)
+}
+
+// engine is the transport-side half of a Cluster.
+type engine interface {
+	// run advances the cluster by d (virtual or wall time).
+	run(d time.Duration) error
+	// now returns elapsed cluster time.
+	now() time.Duration
+	// lock/unlock serialize the caller against process id's callbacks,
+	// so protocol state may be inspected (or poked) between them. No-ops
+	// on the single-threaded simulator; allocation-free by design (the
+	// sampling tick takes them once per process).
+	lock(id int)
+	unlock(id int)
+	// crash crashes process id now.
+	crash(id int)
+	// crashed and everCrashed report failure state.
+	crashed(id int) bool
+	everCrashed(id int) bool
+	// events returns the number of simulated events executed (0 live).
+	events() uint64
+	// netStats returns transport traffic counters (zero live).
+	netStats() NetStats
+	// close tears the engine down; must be idempotent.
+	close() error
+}
