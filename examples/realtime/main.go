@@ -42,6 +42,11 @@ func main() {
 		if next, ok := c.Agreement(); ok && next != leader {
 			snapshot(c, "re-elected")
 			fmt.Printf("\nnew leader: process %d\n", next)
+			// The live transport taps its links, so traffic counters are
+			// real here too (CapNetStats).
+			net := c.Metrics().Net
+			fmt.Printf("traffic: %d sent, %d delivered, %d dropped, %d bytes\n",
+				net.Sent, net.Delivered, net.Dropped, net.Bytes)
 			return
 		}
 	}

@@ -26,10 +26,13 @@ func newFakeEnv(id, n int) *fakeEnv {
 	return &fakeEnv{id: id, n: n, timers: make(map[proc.TimerKey]time.Duration)}
 }
 
-func (e *fakeEnv) ID() proc.ID                               { return e.id }
-func (e *fakeEnv) N() int                                    { return e.n }
-func (e *fakeEnv) Now() time.Duration                        { return e.now }
-func (e *fakeEnv) Send(to proc.ID, msg any)                  { e.sent = append(e.sent, fakeSend{to, msg}) }
+func (e *fakeEnv) ID() proc.ID              { return e.id }
+func (e *fakeEnv) N() int                   { return e.n }
+func (e *fakeEnv) Now() time.Duration       { return e.now }
+func (e *fakeEnv) Send(to proc.ID, msg any) { e.sent = append(e.sent, fakeSend{to, msg}) }
+func (e *fakeEnv) Multicast(dests *bitset.Set, msg any) {
+	dests.ForEach(func(to int) { e.Send(to, msg) })
+}
 func (e *fakeEnv) SetTimer(k proc.TimerKey, d time.Duration) { e.timers[k] = d }
 func (e *fakeEnv) StopTimer(k proc.TimerKey)                 { delete(e.timers, k) }
 func (e *fakeEnv) take() []fakeSend                          { out := e.sent; e.sent = nil; return out }

@@ -32,6 +32,24 @@ func New(n int) *Set {
 	return &Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
 }
 
+// Arena returns count independent empty sets over [0, n), all carved from a
+// single backing words allocation (two allocations total, however large
+// count is). Pool refills use it to provision many sets without paying one
+// header-plus-slice allocation pair per set. The sets are full-capacity
+// (three-index subslices), so they never grow into a neighbour.
+func Arena(n, count int) []Set {
+	if n < 0 || count < 0 {
+		panic(fmt.Sprintf("bitset: negative arena dimensions %d x %d", n, count))
+	}
+	per := (n + wordBits - 1) / wordBits
+	words := make([]uint64, per*count)
+	sets := make([]Set, count)
+	for i := range sets {
+		sets[i] = Set{n: n, words: words[i*per : (i+1)*per : (i+1)*per]}
+	}
+	return sets
+}
+
 // FromMembers returns a set over [0, n) containing exactly the given members.
 // Members outside [0, n) cause a panic, as they indicate a programming error
 // (an out-of-range process id).

@@ -40,12 +40,22 @@
 //     per process in arrival order and flushed synchronously when the
 //     process starts — reliable-link semantics without redelivery polling.
 //   - Per-kind counters are fixed arrays indexed by wire.Kind, not maps.
+//   - A multicast (proc.Env.Multicast; every protocol broadcast) travels as
+//     ONE pooled carrier holding the payload, the destination set and the
+//     per-destination deadlines; a single scheduler event walks the legs in
+//     deadline order, rescheduling itself after each delivery. The peak
+//     in-flight population therefore scales with broadcasts, not with
+//     broadcasts × n — while the observable behaviour (delay draws, message
+//     seqs, stats, gate and drop semantics, tie-breaking against unrelated
+//     events) stays bit-for-bit identical to n unicast sends; see multicast.
 package netsim
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
+	"repro/internal/bitset"
 	"repro/internal/proc"
 	"repro/internal/sim"
 	"repro/internal/wire"
@@ -118,6 +128,7 @@ const (
 	evStart                    // a = process id
 	evCrash                    // a = process id
 	evRestart                  // a = process id, p = func() proc.Node
+	evMcast                    // p = *mcast (next leg of a multicast)
 )
 
 func packTimer(id proc.ID, key proc.TimerKey) uint64 {
@@ -151,6 +162,12 @@ type Network struct {
 	// allocation-free in steady state.
 	envFree  []*Envelope
 	chainBuf []*Envelope
+
+	// mcFree recycles multicast carriers; policyScratch is the stack-in
+	// envelope handed to the DelayPolicy for each multicast leg's draw
+	// (the policy must not retain envelopes, so one scratch suffices).
+	mcFree        []*mcast
+	policyScratch Envelope
 
 	// OnDeliver, when non-nil, observes every successful delivery (after
 	// the node processed it). The envelope is recycled when the callback
@@ -394,6 +411,8 @@ func (n *Network) OnSimEvent(kind uint8, a uint64, p any) {
 		n.crashNow(proc.ID(uint32(a)))
 	case evRestart:
 		n.restartNow(proc.ID(uint32(a)), p.(func() proc.Node))
+	case evMcast:
+		n.mcastStep(p.(*mcast))
 	default:
 		panic(fmt.Sprintf("netsim: unknown event kind %d", kind))
 	}
@@ -434,6 +453,150 @@ func (n *Network) send(from, to proc.ID, msg any) {
 		d = 0
 	}
 	n.sched.AfterTyped(d, n, evDeliver, 0, ev)
+}
+
+// mcLeg is one pending destination of an in-flight multicast: where it goes,
+// when it arrives, and the identities its unicast twin would have carried —
+// the per-destination message Seq and the scheduler tie-break seq reserved
+// at send time.
+type mcLeg struct {
+	at       sim.Time
+	seq      uint64 // Envelope.Seq of this leg
+	schedSeq uint64 // reserved scheduler seq (ordering vs unrelated events)
+	to       proc.ID
+}
+
+// mcast is the single pooled envelope of one multicast: the shared payload
+// plus all pending legs, sorted by delivery order. One scheduler event walks
+// the legs, rescheduling itself to the next deadline after each delivery,
+// so an n-destination broadcast keeps one event and one carrier in flight
+// instead of n envelopes and n heap entries.
+type mcast struct {
+	from    proc.ID
+	payload any
+	sentAt  sim.Time
+	legs    []mcLeg
+	idx     int // next leg to deliver
+}
+
+// getMcast pops a recycled carrier.
+func (n *Network) getMcast() *mcast {
+	if k := len(n.mcFree); k > 0 {
+		mc := n.mcFree[k-1]
+		n.mcFree = n.mcFree[:k-1]
+		return mc
+	}
+	return &mcast{}
+}
+
+// putMcast returns a fully-walked carrier to the pool. Payload references
+// are per-leg (held by the materialized delivery envelopes), so the carrier
+// itself releases nothing.
+func (n *Network) putMcast(mc *mcast) {
+	mc.payload = nil
+	mc.legs = mc.legs[:0]
+	mc.idx = 0
+	n.mcFree = append(n.mcFree, mc)
+}
+
+// multicast is Send fanned over a destination set, behaviourally identical
+// to one send per member in ascending id order. Equivalence is exact, not
+// approximate: message seqs, stats, payload retains and per-link delay draws
+// happen per destination in the same order as the unicast loop, and the
+// carrier replays each leg under the scheduler seq its unicast twin would
+// have occupied (the block reserved by ReserveSeqs is contiguous because a
+// node's send loop admits no interleaving), so the global delivery order —
+// including ties — is bit-for-bit unchanged. Only the cost moves: one
+// pooled carrier and one pending scheduler event replace n of each.
+func (n *Network) multicast(from proc.ID, dests *bitset.Set, msg any) {
+	if n.crashed[from] {
+		return // a crashed process executes nothing
+	}
+	if dests.Len() != len(n.nodes) {
+		panic(fmt.Sprintf("netsim: multicast destination universe %d, want %d", dests.Len(), len(n.nodes)))
+	}
+	k := dests.Count()
+	if k == 0 {
+		return
+	}
+	now := n.sched.Now()
+	recyclable, _ := msg.(wire.Recyclable)
+	wm, isWire := msg.(wire.Message)
+	var kind wire.Kind
+	var sz uint64
+	if isWire {
+		kind = wm.Kind()
+		sz = uint64(wm.Size())
+	}
+	mc := n.getMcast()
+	mc.from, mc.payload, mc.sentAt = from, msg, now
+	if cap(mc.legs) < k {
+		mc.legs = make([]mcLeg, 0, k)
+	}
+	scratch := &n.policyScratch
+	scratch.From, scratch.Payload, scratch.SentAt, scratch.Released = from, msg, now, false
+	legs := mc.legs[:0]
+	for to := 0; to < len(n.nodes); to++ {
+		if !dests.Contains(to) {
+			continue
+		}
+		n.nextSeq++
+		n.stats.Sent++
+		if isWire {
+			n.stats.Bytes += sz
+			n.stats.ByKind[kind]++
+			n.stats.BytesKind[kind] += sz
+		}
+		if recyclable != nil {
+			recyclable.Retain() // one transport reference per destination bit
+		}
+		scratch.Seq, scratch.To = n.nextSeq, to
+		d := n.policy.Delay(scratch, n.rand)
+		if d < 0 {
+			d = 0
+		}
+		legs = append(legs, mcLeg{at: now.Add(d), seq: n.nextSeq, to: to})
+	}
+	scratch.Payload = nil
+	base := n.sched.ReserveSeqs(k)
+	for i := range legs {
+		legs[i].schedSeq = base + uint64(i)
+	}
+	slices.SortFunc(legs, func(a, b mcLeg) int {
+		if a.at != b.at {
+			if a.at < b.at {
+				return -1
+			}
+			return 1
+		}
+		if a.schedSeq < b.schedSeq {
+			return -1
+		}
+		return 1
+	})
+	mc.legs = legs
+	n.sched.AtTypedSeq(legs[0].at, legs[0].schedSeq, n, evMcast, 0, mc)
+}
+
+// mcastStep delivers the carrier's next leg and reschedules it for the one
+// after. The delivery itself materializes a pooled unicast envelope so that
+// gates, observers and the pre-start buffer see exactly the envelopes they
+// always did — but the envelope now lives only from deadline to consumption
+// instead of from send to delivery.
+func (n *Network) mcastStep(mc *mcast) {
+	leg := mc.legs[mc.idx]
+	mc.idx++
+	if mc.idx < len(mc.legs) {
+		next := mc.legs[mc.idx]
+		n.sched.AtTypedSeq(next.at, next.schedSeq, n, evMcast, 0, mc)
+	}
+	ev := n.getEnvelope()
+	ev.Seq, ev.From, ev.To = leg.seq, mc.from, leg.to
+	ev.Payload, ev.SentAt = mc.payload, mc.sentAt
+	if mc.idx == len(mc.legs) {
+		n.putMcast(mc)
+	}
+	n.arrive(ev)
 }
 
 // arrive runs when an envelope's transfer delay has elapsed.
@@ -510,6 +673,20 @@ func (e *env) N() int      { return e.net.N() }
 func (e *env) Now() time.Duration { return time.Duration(e.net.sched.Now()) }
 
 func (e *env) Send(to proc.ID, msg any) { e.net.send(e.id, to, msg) }
+
+// Multicast implements proc.Env. Single-destination sets take the plain
+// unicast path (same behaviour, less machinery).
+func (e *env) Multicast(dests *bitset.Set, msg any) {
+	if dests.Count() == 1 {
+		for to := 0; to < dests.Len(); to++ {
+			if dests.Contains(to) {
+				e.net.send(e.id, to, msg)
+				return
+			}
+		}
+	}
+	e.net.multicast(e.id, dests, msg)
+}
 
 func (e *env) SetTimer(key proc.TimerKey, d time.Duration) {
 	if old, ok := e.timers[key]; ok {

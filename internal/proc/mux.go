@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/bitset"
 	"repro/internal/wire"
 )
 
@@ -103,13 +104,25 @@ func (e *laneEnv) N() int             { return e.mux.env.N() }
 func (e *laneEnv) Now() time.Duration { return e.mux.env.Now() }
 
 func (e *laneEnv) Send(to ID, msg any) {
+	e.mux.env.Send(to, e.wrap(msg))
+}
+
+// Multicast wraps msg in ONE envelope for the whole destination set — the
+// transport reference-counts that envelope once per destination (and, via
+// Mux.Retain/Recycle, the inner message with it), so a lane broadcast costs
+// one wrapper instead of one per destination.
+func (e *laneEnv) Multicast(dests *bitset.Set, msg any) {
+	e.mux.env.Multicast(dests, e.wrap(msg))
+}
+
+func (e *laneEnv) wrap(msg any) *wire.Mux {
 	wm, ok := msg.(wire.Message)
 	if !ok {
 		panic(fmt.Sprintf("proc: lane %d sent non-wire message %T", e.lane, msg))
 	}
 	env := e.pool.Get()
 	env.Lane, env.Inner = e.lane, wm
-	e.mux.env.Send(to, env)
+	return env
 }
 
 func (e *laneEnv) SetTimer(key TimerKey, d time.Duration) {

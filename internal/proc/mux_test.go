@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bitset"
 	"repro/internal/wire"
 )
 
@@ -24,10 +25,13 @@ func newRecordEnv(id, n int) *recordEnv {
 	return &recordEnv{id: id, n: n, timers: make(map[TimerKey]time.Duration)}
 }
 
-func (e *recordEnv) ID() ID                               { return e.id }
-func (e *recordEnv) N() int                               { return e.n }
-func (e *recordEnv) Now() time.Duration                   { return e.now }
-func (e *recordEnv) Send(to ID, msg any)                  { e.sent = append(e.sent, recordedSend{to, msg}) }
+func (e *recordEnv) ID() ID              { return e.id }
+func (e *recordEnv) N() int              { return e.n }
+func (e *recordEnv) Now() time.Duration  { return e.now }
+func (e *recordEnv) Send(to ID, msg any) { e.sent = append(e.sent, recordedSend{to, msg}) }
+func (e *recordEnv) Multicast(dests *bitset.Set, msg any) {
+	dests.ForEach(func(to int) { e.Send(to, msg) })
+}
 func (e *recordEnv) SetTimer(k TimerKey, d time.Duration) { e.timers[k] = d }
 func (e *recordEnv) StopTimer(k TimerKey)                 { e.stopped = append(e.stopped, k) }
 

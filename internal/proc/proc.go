@@ -12,7 +12,12 @@
 // atomically-executed statement blocks in the paper's pseudocode.
 package proc
 
-import "time"
+import (
+	"sync"
+	"time"
+
+	"repro/internal/bitset"
+)
 
 // ID is a process identifier in [0, N). The paper indexes processes 1..n;
 // this repository uses 0-based ids throughout.
@@ -42,6 +47,18 @@ type Env interface {
 	// 10 sends SUSPICION to every process including the sender).
 	// Sends never block and never fail: links are reliable (§2.1).
 	Send(to ID, msg any)
+	// Multicast transmits msg to every member of dests, exactly as if
+	// Send had been called once per member in ascending id order — same
+	// per-link delay distribution, same reliability — but transports may
+	// (and the simulator does) carry the whole fan-out in one envelope.
+	// The paper's protocols are broadcast-dominated (every ALIVE and
+	// SUSPICION goes to all n processes), which makes this the hot
+	// primitive; Broadcast and BroadcastAll are built on it.
+	//
+	// dests is borrowed for the duration of the call only: the transport
+	// must neither mutate nor retain it (callers pass shared, read-only
+	// sets). dests must be a set over the universe [0, N()).
+	Multicast(dests *bitset.Set, msg any)
 	// SetTimer (re)arms the one-shot timer identified by key to fire
 	// after d. Arming replaces any earlier deadline for the same key;
 	// d <= 0 fires the timer as soon as possible.
@@ -75,20 +92,51 @@ type LeaderOracle interface {
 }
 
 // Broadcast sends msg to every process except the sender (the paper's
-// "for each j != i do send ... to p_j", Figure 1 line 3).
+// "for each j != i do send ... to p_j", Figure 1 line 3). It is a single
+// Multicast: one envelope per broadcast on transports that support it.
 func Broadcast(env Env, msg any) {
-	self := env.ID()
-	for j := 0; j < env.N(); j++ {
-		if j != self {
-			env.Send(j, msg)
-		}
+	if env.N() <= 1 {
+		return
 	}
+	env.Multicast(OthersSet(env.N(), env.ID()), msg)
 }
 
 // BroadcastAll sends msg to every process including the sender (the paper's
 // "for each j do send ... to p_j", Figure 1 line 10).
 func BroadcastAll(env Env, msg any) {
-	for j := 0; j < env.N(); j++ {
-		env.Send(j, msg)
+	env.Multicast(FullSet(env.N()), msg)
+}
+
+// destSets caches the broadcast destination sets handed to Multicast. The
+// sets are built once per (n, self) pair and then shared by every process
+// and every transport forever, which is safe because Multicast's contract
+// makes them read-only. The cache keeps Broadcast allocation-free: a
+// per-call bitset would reintroduce one allocation per broadcast tick.
+var destSets sync.Map // uint64 key: n<<32 | self+1 (self+1 == 0 means full)
+
+func destSet(n int, self ID) *bitset.Set {
+	key := uint64(uint32(n))<<32 | uint64(uint32(self+1))
+	if s, ok := destSets.Load(key); ok {
+		return s.(*bitset.Set)
 	}
+	s := bitset.New(n)
+	s.Fill()
+	if self >= 0 {
+		s.Remove(self)
+	}
+	actual, _ := destSets.LoadOrStore(key, s)
+	return actual.(*bitset.Set)
+}
+
+// FullSet returns the shared set {0, ..., n-1}. The result is READ-ONLY:
+// it is cached and shared process-wide (see Multicast's borrowing contract).
+func FullSet(n int) *bitset.Set { return destSet(n, None) }
+
+// OthersSet returns the shared set {0, ..., n-1} \ {self}. The result is
+// READ-ONLY: it is cached and shared process-wide.
+func OthersSet(n int, self ID) *bitset.Set {
+	if self < 0 || self >= n {
+		panic("proc: OthersSet self out of range")
+	}
+	return destSet(n, self)
 }

@@ -1,0 +1,70 @@
+package rounds
+
+import "testing"
+
+// TestEvictSwapPreservesData: an evicted row's live parts must read back
+// from overflow exactly, and the slot must re-enter service with working
+// storage (the swap hands it the provisioned row's parts).
+func TestEvictSwapPreservesData(t *testing.T) {
+	w := New(5, 4) // tiny ring: rounds 1 and 5 share a slot
+	r1 := w.Claim(1, 1, 1)
+	r1.BeginRec(0)
+	r1.Rec.Add(2)
+	r1.BeginSusp()
+	r1.Counts[3] = 7
+	r1.Reported.Add(4)
+
+	r5 := w.Claim(5, 1, 1) // evicts round 1 (rec and susp both live)
+	if r5.RecLive || r5.SuspLive {
+		t.Fatal("fresh resident inherited live flags")
+	}
+	r5.BeginRec(1) // the slot's swapped-in storage must work
+	if !r5.Rec.Contains(1) || r5.Rec.Contains(2) {
+		t.Fatalf("slot storage dirty after swap: %v", r5.Rec)
+	}
+
+	o := w.Get(1)
+	if o == nil || !o.RecLive || !o.SuspLive {
+		t.Fatal("evicted round lost its live parts")
+	}
+	if !o.Rec.Contains(0) || !o.Rec.Contains(2) || o.Counts[3] != 7 || !o.Reported.Contains(4) {
+		t.Fatal("evicted data corrupted by the storage swap")
+	}
+	if w.Stats().Evictions != 1 {
+		t.Fatalf("Evictions = %d", w.Stats().Evictions)
+	}
+}
+
+// TestOverflowRowsRecycle: released overflow rows return through the free
+// list, so a sustained evict/release cycle reuses storage instead of
+// allocating — the large-n steady state.
+func TestOverflowRowsRecycle(t *testing.T) {
+	w := New(3, 4)
+	// Drive many wrap-around claims with live rec rows, completing old
+	// rounds as the frontier advances (releases feed the free list).
+	for rn := int64(1); rn <= 200; rn++ {
+		row := w.Claim(rn, 1, 1)
+		if !row.RecLive {
+			row.BeginRec(0)
+		}
+		if rn > 8 {
+			w.CompleteRec(rn - 8) // releases the overflow copy
+		}
+	}
+	if w.OverflowLen() > 16 {
+		t.Fatalf("overflow retains %d rows; releases are not draining it", w.OverflowLen())
+	}
+	if len(w.free) == 0 {
+		t.Fatal("released overflow rows never reached the free list")
+	}
+	// Every freed row is fully provisioned (ready to serve without
+	// allocating) and flagged dead.
+	for _, r := range w.free {
+		if r.Rec == nil || r.Counts == nil || r.Reported == nil {
+			t.Fatal("free-list row missing provisioned parts")
+		}
+		if r.RecLive || r.SuspLive || r.RN != 0 {
+			t.Fatalf("free-list row not retired: %+v", r)
+		}
+	}
+}

@@ -111,7 +111,80 @@ type Window struct {
 	// their ring slot. Nil until first needed: in the common case it is
 	// never allocated at all.
 	overflow map[int64]*Row
-	stats    Stats
+	// free recycles overflow rows — with their bitsets and count arrays —
+	// released by Prune/CompleteRec/DropSusp, refilled in arena-backed
+	// blocks when recycling cannot keep up. Under sustained round skew
+	// (large n: sending rounds outrun receiving rounds without bound, so
+	// every claim wraps the ring) evictions are constant-rate and the
+	// live overflow population grows with the skew; block provisioning
+	// keeps row allocations O(rows/rowBlock) instead of O(parts x rows).
+	free []*Row
+	// husks are part-less Row structs left over when a virgin ring slot
+	// adopts a provisioned row's storage; the next refill re-parts them
+	// instead of allocating a fresh block.
+	husks []*Row
+	stats Stats
+}
+
+// rowBlock is how many fully-parted rows one freelist refill provisions.
+const rowBlock = 16
+
+// refill provisions rowBlock rows with storage carved from bulk
+// allocations: one Row block (or recycled husks), one bitset arena, one
+// counts array — 4 allocations however many rows, instead of ~5 per row.
+func (w *Window) refill() {
+	var rows []*Row
+	if len(w.husks) >= rowBlock {
+		rows = w.husks[len(w.husks)-rowBlock:]
+		w.husks = w.husks[:len(w.husks)-rowBlock]
+	} else {
+		block := make([]Row, rowBlock)
+		rows = make([]*Row, rowBlock)
+		for i := range block {
+			rows[i] = &block[i]
+		}
+	}
+	sets := bitset.Arena(w.n, 2*rowBlock)
+	counts := make([]int32, rowBlock*w.n)
+	for i, r := range rows {
+		r.Rec = &sets[2*i]
+		r.Reported = &sets[2*i+1]
+		r.Counts = counts[i*w.n : (i+1)*w.n : (i+1)*w.n]
+		w.free = append(w.free, r)
+	}
+}
+
+// getRow pops a provisioned row (parts present, flags dead, contents stale).
+func (w *Window) getRow() *Row {
+	if len(w.free) == 0 {
+		w.refill()
+	}
+	k := len(w.free)
+	r := w.free[k-1]
+	w.free = w.free[:k-1]
+	return r
+}
+
+// putRow retires a released overflow row to the free list.
+func (w *Window) putRow(r *Row) {
+	r.RN = 0
+	r.RecLive = false
+	r.SuspLive = false
+	w.free = append(w.free, r)
+}
+
+// ensureSlot gives a virgin ring slot storage by adopting a provisioned
+// row's parts; the leftover husk is re-parted by a later refill. Slots that
+// served before keep their parts across residents (evict swaps storage), so
+// this runs at most once per slot.
+func (w *Window) ensureSlot(s *Row) {
+	if s.Rec != nil {
+		return
+	}
+	r := w.getRow()
+	s.Rec, s.Counts, s.Reported = r.Rec, r.Counts, r.Reported
+	r.Rec, r.Counts, r.Reported = nil, nil, nil
+	w.husks = append(w.husks, r)
 }
 
 // New creates a window over rounds for a system of n processes. slots is
@@ -174,7 +247,7 @@ func (w *Window) Claim(rn int64, recDeadBelow, suspDeadBelow int64) *Row {
 		return r
 	}
 	w.evict(s, recDeadBelow, suspDeadBelow)
-	s.ensure(w.n)
+	w.ensureSlot(s)
 	s.RN = rn
 	s.RecLive = false
 	s.SuspLive = false
@@ -196,7 +269,8 @@ func (w *Window) overflowRow(rn int64) *Row {
 	}
 	r := w.overflow[rn]
 	if r == nil {
-		r = &Row{RN: rn}
+		r = w.getRow()
+		r.RN = rn
 		w.overflow[rn] = r
 	}
 	r.ensure(w.n)
@@ -205,7 +279,14 @@ func (w *Window) overflowRow(rn int64) *Row {
 
 // evict moves the slot's still-consultable data to the overflow map; data
 // below the caller's horizons is dropped, matching exactly what the map
-// implementation's deletes would have made unobservable.
+// implementation's deletes would have made unobservable. The move SWAPS
+// storage with a recycled overflow row instead of cloning it: the overflow
+// row takes the slot's bitsets and count array wholesale (parts behind a
+// dead Live flag are never read, so carrying them is free), and the slot
+// inherits the recycled row's storage for its next resident. Steady-state
+// evictions therefore allocate nothing — the dominant allocation source at
+// large n, where unbounded sending/receiving round skew wraps the ring on
+// every claim.
 func (w *Window) evict(s *Row, recDeadBelow, suspDeadBelow int64) {
 	if s.RN == 0 {
 		return
@@ -219,16 +300,13 @@ func (w *Window) evict(s *Row, recDeadBelow, suspDeadBelow int64) {
 	if w.overflow == nil {
 		w.overflow = make(map[int64]*Row)
 	}
-	o := &Row{RN: s.RN}
-	if keepRec {
-		o.Rec = s.Rec.Clone()
-		o.RecLive = true
-	}
-	if keepSusp {
-		o.Counts = append([]int32(nil), s.Counts...)
-		o.Reported = s.Reported.Clone()
-		o.SuspLive = true
-	}
+	o := w.getRow()
+	o.RN = s.RN
+	o.Rec, s.Rec = s.Rec, o.Rec
+	o.Counts, s.Counts = s.Counts, o.Counts
+	o.Reported, s.Reported = s.Reported, o.Reported
+	o.RecLive = keepRec
+	o.SuspLive = keepSusp
 	w.overflow[s.RN] = o
 }
 
@@ -245,6 +323,7 @@ func (w *Window) CompleteRec(rn int64) {
 		r.RecLive = false
 		if !r.SuspLive {
 			delete(w.overflow, rn)
+			w.putRow(r)
 		}
 	}
 }
@@ -277,6 +356,7 @@ func (w *Window) Prune(recDeadBelow, suspDeadBelow int64) {
 		}
 		if !r.RecLive {
 			delete(w.overflow, rn)
+			w.putRow(r)
 		}
 	}
 }
@@ -297,6 +377,7 @@ func (w *Window) DropSusp(rn int64) {
 		r.SuspLive = false
 		if !r.RecLive {
 			delete(w.overflow, rn)
+			w.putRow(r)
 		}
 	}
 }

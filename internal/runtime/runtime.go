@@ -10,14 +10,27 @@
 // (the paper's atomically-executed statement blocks). Sends enqueue into the
 // destination's unbounded mailbox after the injected delay; links are
 // reliable and unordered, like the model's.
+//
+// The cluster is full-featured relative to the simulator where live
+// semantics permit: links carry counting taps (Stats mirrors netsim.Stats
+// field-for-field), crashed processes can be replaced by fresh incarnations
+// (Restart — churn in a crash-stop world), and a per-delivery observer hook
+// (Config.OnDeliver) runs on the receiving process's goroutine under its
+// callback serialization, so it may read that node's protocol state
+// race-free. What the live cluster cannot offer is determinism and the
+// assumption machinery (delay schedules beyond Config.Delay, order gates);
+// the star façade declares exactly this split via transport capabilities.
 package runtime
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/bitset"
 	"repro/internal/proc"
+	"repro/internal/wire"
 )
 
 // DelayFunc chooses a per-message transfer delay. It must be safe for
@@ -28,6 +41,28 @@ type DelayFunc func(from, to proc.ID, msg any) time.Duration
 type Config struct {
 	N     int
 	Delay DelayFunc
+
+	// OnDeliver, when non-nil, observes every message delivery, after the
+	// receiving node processed it. It runs on the receiver's consumer
+	// goroutine while that process's callback lock is held (the same lock
+	// LockProcess/Inspect take), so it may read process to's protocol
+	// state without further synchronization. It must be safe for
+	// concurrent invocation across DIFFERENT receivers, and must not call
+	// back into the cluster.
+	OnDeliver func(to proc.ID)
+}
+
+// Stats aggregates link-level counters, mirroring netsim.Stats field for
+// field (the star façade converts one to the other). Counters are updated
+// atomically by the process goroutines; Stats() snapshots are internally
+// consistent only in the eventual sense a live system allows.
+type Stats struct {
+	Sent      uint64 // messages handed to the links
+	Delivered uint64 // messages delivered to live processes
+	Dropped   uint64 // messages addressed to crashed (or stale) processes
+	Bytes     uint64 // encoded size of all sent wire messages
+	ByKind    [wire.KindCount]uint64
+	BytesKind [wire.KindCount]uint64
 }
 
 // event is one unit of work for a process goroutine.
@@ -37,6 +72,7 @@ type event struct {
 	msg  any
 	key  proc.TimerKey
 	tgen uint64
+	inc  uint64 // receiver incarnation at arrival time (kind 0)
 }
 
 // Cluster owns the processes and their links.
@@ -47,6 +83,7 @@ type Cluster struct {
 	started bool
 	stopped chan struct{}
 	wg      sync.WaitGroup
+	stats   Stats // atomic counters; snapshot via Stats()
 }
 
 // New creates a cluster; register nodes, then Start it.
@@ -103,17 +140,15 @@ func (c *Cluster) Start() {
 func (c *Cluster) runProcess(id proc.ID) {
 	defer c.wg.Done()
 	env := c.envs[id]
+	// The loop keeps draining while the process is down (senders never
+	// care), discarding inside handle; a Restart makes the same loop the
+	// new incarnation's consumer.
 	for {
 		ev, ok := env.box.pop(c.stopped)
 		if !ok {
 			return
 		}
 		env.handle(ev)
-		if env.isCrashed() {
-			// Keep draining (and discarding) so senders never care,
-			// but deliver nothing further.
-			continue
-		}
 	}
 }
 
@@ -146,6 +181,69 @@ func (c *Cluster) Crash(id proc.ID) {
 
 // Crashed reports whether the process was crashed via Crash.
 func (c *Cluster) Crashed(id proc.ID) bool { return c.envs[id].isCrashed() }
+
+// Restart replaces crashed process id with the fresh incarnation built by
+// build and starts it, all synchronously: build and Start run while the
+// process's callback lock is held, so concurrent Inspect/LockProcess readers
+// never observe a half-swapped process, and when Restart returns the new
+// incarnation is live (Crashed(id) is false). Restarting a process that is
+// not down is a no-op (mirroring netsim.RestartAt); it reports whether the
+// swap happened.
+//
+// Messages that arrived while the process was down were dropped at arrival;
+// messages still in flight across the downtime reach the new incarnation,
+// exactly like the simulator's churn semantics. Messages already queued to
+// the OLD incarnation but not yet processed are dropped by an incarnation
+// check (the live analogue of "a crashed process receives nothing").
+func (c *Cluster) Restart(id proc.ID, build func() proc.Node) bool {
+	if build == nil {
+		panic("runtime: Restart with nil build")
+	}
+	env := c.envs[id]
+	env.handleMu.Lock()
+	defer env.handleMu.Unlock()
+	if !env.isCrashed() {
+		return false
+	}
+	node := build()
+	if node == nil {
+		panic("runtime: Restart build returned nil node")
+	}
+	env.mu.Lock()
+	env.crashed = false
+	env.inc++
+	env.node = node
+	env.mu.Unlock()
+	c.nodes[id] = node
+	node.Start(env)
+	return true
+}
+
+// Stats returns a snapshot of the link counters.
+func (c *Cluster) Stats() Stats {
+	var out Stats
+	out.Sent = atomic.LoadUint64(&c.stats.Sent)
+	out.Delivered = atomic.LoadUint64(&c.stats.Delivered)
+	out.Dropped = atomic.LoadUint64(&c.stats.Dropped)
+	out.Bytes = atomic.LoadUint64(&c.stats.Bytes)
+	for k := range out.ByKind {
+		out.ByKind[k] = atomic.LoadUint64(&c.stats.ByKind[k])
+		out.BytesKind[k] = atomic.LoadUint64(&c.stats.BytesKind[k])
+	}
+	return out
+}
+
+// countSent tallies one transmission of msg (per destination, like netsim).
+func (c *Cluster) countSent(msg any) {
+	atomic.AddUint64(&c.stats.Sent, 1)
+	if wm, ok := msg.(wire.Message); ok {
+		k := wm.Kind()
+		sz := uint64(wm.Size())
+		atomic.AddUint64(&c.stats.Bytes, sz)
+		atomic.AddUint64(&c.stats.ByKind[k], 1)
+		atomic.AddUint64(&c.stats.BytesKind[k], sz)
+	}
+}
 
 // Inspect runs f serialized against process id's callbacks: while f runs,
 // no message, timer or crash callback of that process executes, so f may
@@ -188,6 +286,7 @@ type renv struct {
 
 	mu      sync.Mutex
 	crashed bool
+	inc     uint64 // incarnation counter, bumped by Restart
 	timers  map[proc.TimerKey]*timerSlot
 }
 
@@ -221,24 +320,64 @@ func (e *renv) Send(to proc.ID, msg any) {
 	if e.isCrashed() {
 		return
 	}
+	e.cluster.countSent(msg)
+	e.sendOne(to, msg)
+}
+
+// Multicast implements proc.Env: one transmission per destination over the
+// channel links (each leg draws its own delay, like the unicast path). The
+// payload pointer is shared by all destinations — the repository's standing
+// "immutable once sent" contract — and dests is only read during the call.
+func (e *renv) Multicast(dests *bitset.Set, msg any) {
+	if e.isCrashed() {
+		return
+	}
+	for to := 0; to < dests.Len(); to++ {
+		if !dests.Contains(to) {
+			continue
+		}
+		e.cluster.countSent(msg)
+		e.sendOne(to, msg)
+	}
+}
+
+// sendOne routes one copy of msg to its destination after the injected
+// delay. Arrival (the mailbox push) is where a down receiver drops the
+// message, mirroring the simulator's delivery-time drop.
+func (e *renv) sendOne(to proc.ID, msg any) {
 	dst := e.cluster.envs[to]
 	var d time.Duration
 	if f := e.cluster.cfg.Delay; f != nil {
 		d = f(e.id, to, msg)
 	}
-	ev := event{kind: 0, from: e.id, msg: msg}
 	if d <= 0 {
-		dst.box.push(ev)
+		dst.arriveMsg(e.id, msg)
 		return
 	}
 	t := time.AfterFunc(d, func() {
 		select {
 		case <-e.cluster.stopped:
 		default:
-			dst.box.push(ev)
+			dst.arriveMsg(e.id, msg)
 		}
 	})
 	_ = t // in-flight messages are dropped wholesale at Stop
+}
+
+// arriveMsg is the arrival instant of one message copy: a down receiver
+// drops it (indistinguishable from reception by a dead process); a live one
+// enqueues it stamped with the receiver's current incarnation, so a copy
+// that was queued behind a crash is not leaked into a later incarnation.
+func (e *renv) arriveMsg(from proc.ID, msg any) {
+	e.mu.Lock()
+	if e.crashed {
+		e.mu.Unlock()
+		atomic.AddUint64(&e.cluster.stats.Dropped, 1)
+		return
+	}
+	inc := e.inc
+	e.mu.Unlock()
+	e.box.push(event{kind: 0, from: from, msg: msg, inc: inc})
 }
 
 // SetTimer implements proc.Env.
@@ -290,21 +429,33 @@ func (e *renv) stopAllTimers() {
 
 // handle runs one event on the owning goroutine, serialized with Inspect.
 func (e *renv) handle(ev event) {
-	if e.isCrashed() {
-		return
-	}
 	e.handleMu.Lock()
 	defer e.handleMu.Unlock()
 	switch ev.kind {
 	case 0:
-		e.node.OnMessage(ev.from, ev.msg)
+		e.mu.Lock()
+		live := !e.crashed && e.inc == ev.inc
+		node := e.node
+		e.mu.Unlock()
+		if !live {
+			// Crashed after arrival, or a leftover of a previous
+			// incarnation: the message dies with its addressee.
+			atomic.AddUint64(&e.cluster.stats.Dropped, 1)
+			return
+		}
+		node.OnMessage(ev.from, ev.msg)
+		atomic.AddUint64(&e.cluster.stats.Delivered, 1)
+		if f := e.cluster.cfg.OnDeliver; f != nil {
+			f(e.id)
+		}
 	case 1:
 		e.mu.Lock()
 		slot := e.timers[ev.key]
-		live := slot != nil && slot.gen == ev.tgen
+		live := slot != nil && slot.gen == ev.tgen && !e.crashed
+		node := e.node
 		e.mu.Unlock()
 		if live {
-			e.node.OnTimer(ev.key)
+			node.OnTimer(ev.key)
 		}
 	}
 }

@@ -152,16 +152,46 @@ func (s *Scheduler) freeSlot(i int32) {
 // schedule installs an event and returns its id. Exactly one of fn and h is
 // non-nil.
 func (s *Scheduler) schedule(at Time, fn func(), h Handler, kind uint8, a uint64, p any) EventID {
+	s.nextSeq++
+	return s.scheduleSeq(at, s.nextSeq, fn, h, kind, a, p)
+}
+
+// scheduleSeq installs an event under an explicit tie-break sequence number.
+func (s *Scheduler) scheduleSeq(at Time, seq uint64, fn func(), h Handler, kind uint8, a uint64, p any) EventID {
 	if at < s.now {
 		at = s.now
 	}
 	i := s.allocSlot()
 	sl := &s.arena[i]
 	sl.fn, sl.h, sl.kind, sl.a, sl.p = fn, h, kind, a, p
-	s.nextSeq++
-	s.heapPush(heapItem{at: at, seq: s.nextSeq, slot: i, gen: sl.gen})
+	s.heapPush(heapItem{at: at, seq: seq, slot: i, gen: sl.gen})
 	s.live++
 	return makeEventID(i, sl.gen)
+}
+
+// ReserveSeqs consumes k tie-break sequence numbers and returns the first.
+// A caller that fans one logical operation into k future events (netsim's
+// multicast carrier) reserves the same contiguous seq block the k individual
+// schedule calls would have taken, then replays each event with AtTypedSeq —
+// so the global (at, seq) execution order is bit-for-bit what k eager
+// schedule calls would have produced.
+func (s *Scheduler) ReserveSeqs(k int) uint64 {
+	if k <= 0 {
+		panic(fmt.Sprintf("sim: ReserveSeqs(%d)", k))
+	}
+	s.nextSeq += uint64(k)
+	return s.nextSeq - uint64(k) + 1
+}
+
+// AtTypedSeq schedules a typed event under a sequence number previously
+// obtained from ReserveSeqs. Ordering is (at, seq), so an event scheduled
+// late with an early reserved seq still sorts exactly where its eager
+// counterpart would have.
+func (s *Scheduler) AtTypedSeq(at Time, seq uint64, h Handler, kind uint8, a uint64, p any) EventID {
+	if h == nil {
+		panic("sim: AtTypedSeq called with nil handler")
+	}
+	return s.scheduleSeq(at, seq, nil, h, kind, a, p)
 }
 
 // At schedules fn to run at absolute time at. Scheduling in the past (or at

@@ -200,9 +200,11 @@ func (p *ABCastPool) Get() *ABCast {
 }
 
 // MuxPool recycles Mux envelopes. A Mux envelope wraps one inner message
-// per send, so its reference count is always 1; the inner message, shared
-// by the whole broadcast, is retained once per wrapping envelope and
-// recycled when each envelope is consumed (see Mux.Retain / Mux.Recycle).
+// per Send — or one per whole Multicast, in which case the transport
+// reference-counts it once per destination. Retain/Recycle propagate each
+// reference to the inner message symmetrically, so the inner returns to its
+// pool exactly when the last copy of the last envelope wrapping it is
+// consumed (see Mux.Retain / Mux.Recycle).
 type MuxPool struct{ fl freeList }
 
 // Get returns a free Mux envelope (contents stale).
@@ -224,15 +226,17 @@ func (m *Mux) Retain() {
 	}
 }
 
-// Recycle implements Recyclable; the wrapped message is recycled with the
-// envelope.
+// Recycle implements Recyclable: every dropped envelope reference drops one
+// inner reference (mirroring Retain), and the envelope itself returns to its
+// pool when the last reference goes. The per-call propagation matters for
+// multicast envelopes, whose reference count is the destination popcount.
 func (m *Mux) Recycle() {
+	if r, ok := m.Inner.(Recyclable); ok {
+		r.Recycle()
+	}
 	m.ref.refs--
 	if m.ref.refs > 0 {
 		return
-	}
-	if r, ok := m.Inner.(Recyclable); ok {
-		r.Recycle()
 	}
 	if m.ref.home != nil {
 		m.Inner = nil

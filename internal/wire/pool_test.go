@@ -81,6 +81,65 @@ func TestMuxPoolPropagatesToInner(t *testing.T) {
 	}
 }
 
+// TestMulticastRefsMatchPopcount is the multicast transport contract as a
+// property check: a transport carrying one envelope for a whole destination
+// set calls Retain once per destination-set BIT and Recycle once per
+// consumed delivery, so for every popcount k the payload must survive the
+// first k-1 recycles and return to its pool exactly on the k-th. Checked
+// for a bare pooled payload and for a Mux-wrapped one (where every envelope
+// reference must propagate to the inner message symmetrically).
+func TestMulticastRefsMatchPopcount(t *testing.T) {
+	for _, n := range []int{1, 2, 13, 101} {
+		dests := bitset.New(n)
+		dests.Fill()
+		dests.Remove(n / 2) // a Broadcast-shaped set: self excluded
+		k := dests.Count()
+
+		// Bare payload: one Retain per bit.
+		var ap AlivePool
+		a := ap.Get(n)
+		for i := 0; i < k; i++ {
+			a.Retain()
+		}
+		for i := 0; i < k-1; i++ {
+			a.Recycle()
+			if got := ap.Get(n); got == a {
+				t.Fatalf("n=%d: payload recycled after %d of %d recycles", n, i+1, k)
+			}
+		}
+		a.Recycle()
+		if got := ap.Get(n); got != a {
+			t.Fatalf("n=%d: payload not recycled at last delivery", n)
+		}
+
+		// Mux-wrapped: envelope refs = popcount, inner follows exactly.
+		var mp MuxPool
+		var sp SuspicionPool
+		inner := sp.Get(n)
+		m := mp.Get()
+		m.Lane, m.Inner = 0, inner
+		for i := 0; i < k; i++ {
+			m.Retain()
+		}
+		for i := 0; i < k-1; i++ {
+			m.Recycle()
+			if got := mp.Get(); got == m {
+				t.Fatalf("n=%d: mux envelope recycled early", n)
+			}
+			if got := sp.Get(n); got == inner {
+				t.Fatalf("n=%d: inner recycled after %d of %d envelope recycles", n, i+1, k)
+			}
+		}
+		m.Recycle()
+		if got := sp.Get(n); got != inner {
+			t.Fatalf("n=%d: inner not recycled with last envelope reference", n)
+		}
+		if got := mp.Get(); got != m || got.Inner != nil {
+			t.Fatalf("n=%d: mux envelope not recycled clean", n)
+		}
+	}
+}
+
 func TestConsensusPools(t *testing.T) {
 	var pp PromisePool
 	m := pp.Get()

@@ -19,27 +19,35 @@ func (c *Cluster) Propose(p int, instance, value int64) error {
 	if p < 0 || p >= c.n {
 		return fmt.Errorf("%w: %d", ErrBadProcess, p)
 	}
-	if c.conss[p] == nil {
+	if !c.cfg.consensusEnabled {
 		return fmt.Errorf("%w: WithConsensus", ErrNoApp)
 	}
 	if c.eng.crashed(p) {
 		return nil // a crashed process proposes nothing
 	}
+	// App-lane slots, like all protocol tables, are read under the process
+	// lock: live churn rebuilds them from a restart timer goroutine.
 	c.eng.lock(p)
 	defer c.eng.unlock(p)
-	c.conss[p].Propose(instance, value)
+	if cons := c.conss[p]; cons != nil {
+		cons.Propose(instance, value)
+	}
 	return nil
 }
 
 // Decided returns process p's decision for the given consensus instance,
 // if it has learned one.
 func (c *Cluster) Decided(p int, instance int64) (int64, bool) {
-	if p < 0 || p >= c.n || c.conss[p] == nil {
+	if p < 0 || p >= c.n || !c.cfg.consensusEnabled {
 		return 0, false
 	}
 	c.eng.lock(p)
 	defer c.eng.unlock(p)
-	return c.conss[p].Decided(instance)
+	cons := c.conss[p]
+	if cons == nil {
+		return 0, false
+	}
+	return cons.Decided(instance)
 }
 
 // Ballots returns the total number of consensus ballots started across all
@@ -47,11 +55,10 @@ func (c *Cluster) Decided(p int, instance int64) (int64, bool) {
 func (c *Cluster) Ballots() uint64 {
 	var total uint64
 	for p := 0; p < c.n; p++ {
-		if c.conss[p] == nil {
-			continue
-		}
 		c.eng.lock(p)
-		total += c.conss[p].Ballots
+		if cons := c.conss[p]; cons != nil {
+			total += cons.Ballots
+		}
 		c.eng.unlock(p)
 	}
 	return total
@@ -65,7 +72,7 @@ func (c *Cluster) Broadcast(p int, payload int64) error {
 	if p < 0 || p >= c.n {
 		return fmt.Errorf("%w: %d", ErrBadProcess, p)
 	}
-	if c.abs[p] == nil {
+	if !c.cfg.abcastEnabled {
 		return fmt.Errorf("%w: WithAtomicBroadcast", ErrNoApp)
 	}
 	if c.eng.crashed(p) {
@@ -73,18 +80,24 @@ func (c *Cluster) Broadcast(p int, payload int64) error {
 	}
 	c.eng.lock(p)
 	defer c.eng.unlock(p)
-	c.abs[p].Broadcast(payload)
+	if ab := c.abs[p]; ab != nil {
+		ab.Broadcast(payload)
+	}
 	return nil
 }
 
 // Deliveries returns process p's ordered delivery log (a copy).
 func (c *Cluster) Deliveries(p int) []Delivery {
-	if p < 0 || p >= c.n || c.abs[p] == nil {
+	if p < 0 || p >= c.n || !c.cfg.abcastEnabled {
 		return nil
 	}
 	c.eng.lock(p)
 	defer c.eng.unlock(p)
-	log := c.abs[p].Log()
+	ab := c.abs[p]
+	if ab == nil {
+		return nil
+	}
+	log := ab.Log()
 	out := make([]Delivery, len(log))
 	for i, d := range log {
 		out[i] = Delivery{Slot: d.Slot, Sender: d.Sender, Payload: d.Payload}

@@ -3,6 +3,7 @@ package star
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/abcast"
@@ -46,16 +47,21 @@ type Cluster struct {
 	// mu guards the collector state and lifecycle flags (live transport:
 	// the sampler goroutine writes, Report reads). The read-only state
 	// accessors do not take it, so observers may call them freely.
-	mu               sync.Mutex
-	samples          []check.LeaderSample
-	bounds           *check.BoundTracker
-	timeoutSeries    [][]time.Duration
-	spreadViolations uint64
-	levelBuf         []int64
-	lastLeaders      []int
-	lastRounds       []int64
-	elapsed          time.Duration
-	closed           bool
+	mu            sync.Mutex
+	samples       []check.LeaderSample
+	bounds        *check.BoundTracker
+	timeoutSeries [][]time.Duration
+	levelBuf      []int64
+	lastLeaders   []int
+	lastRounds    []int64
+	elapsed       time.Duration
+	closed        bool
+
+	// spreadViolations is atomic (not under mu) because the live
+	// transport's per-delivery spread hook runs on process goroutines
+	// that already hold a callback lock; taking mu there would invert
+	// the collector's mu -> callback-lock order.
+	spreadViolations atomic.Uint64
 }
 
 // New builds a cluster from functional options. At minimum pass N; every
@@ -79,6 +85,14 @@ func New(opts ...Option) (*Cluster, error) {
 
 	sc, err := cfg.spec.build(cfg.n, cfg.t, cfg.alpha, cfg.seed, cfg.churn)
 	if err != nil {
+		return nil, err
+	}
+
+	// Validate the requested features against the transport's DECLARED
+	// capability set — the engine seam's contract. New transports extend
+	// the system by declaring more (or fewer) capabilities, never by
+	// growing per-transport special cases here.
+	if err := checkCapabilities(&cfg, sc); err != nil {
 		return nil, err
 	}
 
@@ -121,6 +135,36 @@ func New(opts ...Option) (*Cluster, error) {
 		c.eng = eng
 	}
 	return c, nil
+}
+
+// checkCapabilities rejects option/transport mismatches: every feature a
+// config requests maps to one Capability, and the selected transport must
+// declare it. Errors wrap ErrUnsupported and name the missing capability.
+func checkCapabilities(cfg *config, sc *scenario.Scenario) error {
+	have := cfg.transport.Capabilities()
+	need := func(cap Capability, feature string) error {
+		if have.Has(cap) {
+			return nil
+		}
+		return fmt.Errorf("%w: %s needs the %v capability (transport %q declares %v)",
+			ErrUnsupported, feature, cap, cfg.transport, have)
+	}
+	if len(sc.Restarts) > 0 || cfg.churn != nil {
+		if err := need(CapChurn, "churn/restart schedules"); err != nil {
+			return err
+		}
+	}
+	if cfg.checkSpread {
+		if err := need(CapSpreadCheck, "CheckSpread"); err != nil {
+			return err
+		}
+	}
+	if cfg.maxEventsSet {
+		if err := need(CapEventBudget, "MaxEvents"); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // buildProcess constructs (or, under churn, reconstructs) process id's
@@ -300,6 +344,9 @@ func (c *Cluster) N() int { return c.n }
 // Transport names the transport in use ("sim" or "live").
 func (c *Cluster) Transport() string { return c.cfg.transport.String() }
 
+// Capabilities returns the running engine's declared capability set.
+func (c *Cluster) Capabilities() Capability { return c.eng.capabilities() }
+
 // ScenarioName returns the assumption family's name; ScenarioDescription a
 // one-line human-readable summary.
 func (c *Cluster) ScenarioName() string        { return c.sc.Name }
@@ -393,36 +440,50 @@ func (c *Cluster) EverCrashed(id int) bool {
 }
 
 // SuspLevel returns a copy of process id's susp_level array (core
-// algorithms; nil otherwise).
+// algorithms; nil otherwise). The protocol-table slot is read under the
+// process lock: live churn rebuilds the tables from a restart timer
+// goroutine, serialized by exactly that lock.
 func (c *Cluster) SuspLevel(id int) []int64 {
-	if id < 0 || id >= c.n || c.cores[id] == nil || c.eng.crashed(id) {
+	if id < 0 || id >= c.n || c.eng.crashed(id) {
 		return nil
 	}
 	c.eng.lock(id)
 	defer c.eng.unlock(id)
-	return c.cores[id].SuspLevel()
+	cn := c.cores[id]
+	if cn == nil {
+		return nil
+	}
+	return cn.SuspLevel()
 }
 
 // CurrentTimeout returns process id's current receiving-round timeout
 // (0 for algorithms without timers).
 func (c *Cluster) CurrentTimeout(id int) time.Duration {
-	if id < 0 || id >= c.n || c.timers[id] == nil || c.eng.crashed(id) {
+	if id < 0 || id >= c.n || c.eng.crashed(id) {
 		return 0
 	}
 	c.eng.lock(id)
 	defer c.eng.unlock(id)
-	return c.timers[id].CurrentTimeout()
+	tm := c.timers[id]
+	if tm == nil {
+		return 0
+	}
+	return tm.CurrentTimeout()
 }
 
 // Rounds returns process id's sending and receiving round numbers (0, 0
 // for algorithms without rounds).
 func (c *Cluster) Rounds(id int) (sending, receiving int64) {
-	if id < 0 || id >= c.n || c.rounders[id] == nil || c.eng.crashed(id) {
+	if id < 0 || id >= c.n || c.eng.crashed(id) {
 		return 0, 0
 	}
 	c.eng.lock(id)
 	defer c.eng.unlock(id)
-	return c.rounders[id].Rounds()
+	rd := c.rounders[id]
+	if rd == nil {
+		return 0, 0
+	}
+	return rd.Rounds()
 }
 
 // Report computes the domain verdict from everything sampled so far: the
@@ -437,17 +498,20 @@ func (c *Cluster) Report() *Report {
 	rep.BoundB = c.bounds.B()
 	rep.MaxSuspLevel = c.bounds.MaxEver()
 	rep.BoundOK = c.bounds.BoundOK()
-	rep.SpreadViolations = c.spreadViolations
+	rep.SpreadViolations = c.spreadViolations.Load()
+	rep.Net = c.eng.netStats()
 	rep.FinalTimeouts = make([]time.Duration, c.n)
 	rep.LeaderAtEnd = make([]int, c.n)
 	rep.FinalLevels = make([][]int64, c.n)
 	for id := 0; id < c.n; id++ {
 		rep.LeaderAtEnd[id] = None
 		c.eng.lock(id)
+		isCore := false
 		if !c.eng.crashed(id) {
 			rep.LeaderAtEnd[id] = c.oracles[id].Leader()
 		}
 		if cn := c.cores[id]; cn != nil {
+			isCore = true
 			rep.FinalLevels[id] = cn.SuspLevel()
 			rep.FinalTimeouts[id] = cn.CurrentTimeout()
 			if _, r := cn.Rounds(); r-1 > rep.RoundsDone {
@@ -455,7 +519,7 @@ func (c *Cluster) Report() *Report {
 			}
 		}
 		c.eng.unlock(id)
-		if c.cores[id] != nil && !c.eng.everCrashed(id) && !check.TimeoutStable(c.timeoutSeries[id], 0.25) {
+		if isCore && !c.eng.everCrashed(id) && !check.TimeoutStable(c.timeoutSeries[id], 0.25) {
 			rep.TimeoutsStable = false
 		}
 	}
@@ -478,14 +542,14 @@ func (c *Cluster) Metrics() Metrics {
 	}
 	m.GateHeldWinning, m.GateHeldLose = c.sc.GateStats()
 	for id := 0; id < c.n; id++ {
+		c.eng.lock(id)
 		if cn := c.cores[id]; cn != nil {
 			if m.Nodes == nil {
 				m.Nodes = make([]NodeMetrics, c.n)
 			}
-			c.eng.lock(id)
 			m.Nodes[id] = nodeMetricsFrom(cn.Metrics())
-			c.eng.unlock(id)
 		}
+		c.eng.unlock(id)
 	}
 	return m
 }

@@ -35,6 +35,15 @@
 // channel links and wall-clock timers. Run advances virtual time on the
 // former and sleeps on the latter; everything else reads identically.
 //
+// Each transport declares a Capability set (Capabilities) and New validates
+// the requested options against it, rejecting mismatches with ErrUnsupported
+// naming the missing capability. Both transports count traffic (real
+// NetStats), execute churn schedules, and support CheckSpread; only the
+// simulator offers determinism and the MaxEvents budget. New transports
+// (sharded, multi-backend) slot in by implementing the engine seam and
+// declaring what they provide — the façade has no per-transport special
+// cases.
+//
 // # Observation
 //
 // Three layers, from cheapest to richest:

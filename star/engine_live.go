@@ -5,6 +5,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/check"
+	"repro/internal/proc"
 	"repro/internal/runtime"
 	"repro/internal/sim"
 )
@@ -14,6 +16,14 @@ import (
 // scenario's base-delay range, wall-clock timers. The engine starts the
 // processes at New time (wall clocks do not wait) and samples on its own
 // goroutine until Close.
+//
+// The engine provides every capability live semantics permit (see
+// liveCapabilities): NetStats come from the runtime's link taps, the
+// scenario's crash AND restart schedules execute on wall-clock timers
+// through the runtime's synchronous Crash/Restart, and CheckSpread runs in
+// the runtime's per-delivery hook — on the receiving process's goroutine,
+// under the same lock LockProcess/Inspect take, so the state read is
+// race-free by construction.
 type liveEngine struct {
 	c  *Cluster
 	rt *runtime.Cluster
@@ -27,16 +37,28 @@ type liveEngine struct {
 	mu             sync.Mutex
 	everCrashedSet []bool
 	closed         bool
+
+	// pending tracks schedule-timer callbacks (crashes, restarts) that
+	// passed the closed check and are executing; close waits for them
+	// before stopping the runtime (time.Timer.Stop does not).
+	pending sync.WaitGroup
+}
+
+// beginScheduled registers a schedule-timer callback, refusing once the
+// engine is closed; the caller must call e.pending.Done() when it returns
+// true.
+func (e *liveEngine) beginScheduled() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
+	e.pending.Add(1)
+	return true
 }
 
 func newLiveEngine(c *Cluster) (*liveEngine, error) {
 	p := c.sc.Params
-	if len(c.sc.Restarts) > 0 {
-		return nil, fmt.Errorf("%w: churn/restart schedules need the simulated transport", ErrUnsupported)
-	}
-	if c.cfg.checkSpread {
-		return nil, fmt.Errorf("%w: CheckSpread needs the simulated transport", ErrUnsupported)
-	}
 
 	// Seeded link delays from the scenario's asynchronous base range
 	// (spikes included). The assumption machinery — stars, order gates,
@@ -53,7 +75,30 @@ func newLiveEngine(c *Cluster) (*liveEngine, error) {
 		return rng.Duration(p.BaseLo, p.BaseHi)
 	}
 
-	rt, err := runtime.New(runtime.Config{N: p.N, Delay: delay})
+	rtCfg := runtime.Config{N: p.N, Delay: delay}
+	if c.cfg.checkSpread {
+		// Lemma 8 spread checking per delivery. The hook runs on the
+		// receiving process's goroutine with its callback lock held, so
+		// reading that node's susp_level is already serialized; spreadMu
+		// only guards the shared scratch buffer across receivers.
+		var spreadMu sync.Mutex
+		var spreadBuf []int64
+		rtCfg.OnDeliver = func(to proc.ID) {
+			cn := c.cores[to]
+			if cn == nil {
+				return
+			}
+			spreadMu.Lock()
+			spreadBuf = cn.SuspLevelInto(spreadBuf)
+			ok := check.SpreadOK(spreadBuf)
+			spreadMu.Unlock()
+			if !ok {
+				c.spreadViolations.Add(1)
+			}
+		}
+	}
+
+	rt, err := runtime.New(rtCfg)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidParams, err)
 	}
@@ -74,12 +119,31 @@ func newLiveEngine(c *Cluster) (*liveEngine, error) {
 	c.eng = e
 	rt.Start()
 
-	// The scenario's crash schedule, on wall-clock timers.
+	// The scenario's crash and churn schedules, on wall-clock timers. A
+	// restart rebuilds the process exactly like the simulated transport —
+	// fresh state plus the round-frontier jump — with the cluster tables
+	// swapped while the runtime holds the process's callback lock, so
+	// samplers and accessors never observe a half-built incarnation.
 	for _, cr := range c.sc.Crashes {
 		id := cr.ID
 		at := time.Duration(cr.At)
 		e.crashTimers = append(e.crashTimers, time.AfterFunc(at, func() {
+			if !e.beginScheduled() {
+				return
+			}
+			defer e.pending.Done()
 			e.crash(id)
+		}))
+	}
+	for _, r := range c.sc.Restarts {
+		id := r.ID
+		at := time.Duration(r.At)
+		e.crashTimers = append(e.crashTimers, time.AfterFunc(at, func() {
+			if !e.beginScheduled() {
+				return
+			}
+			defer e.pending.Done()
+			e.restart(id)
 		}))
 	}
 
@@ -100,6 +164,8 @@ func newLiveEngine(c *Cluster) (*liveEngine, error) {
 	}()
 	return e, nil
 }
+
+func (e *liveEngine) capabilities() Capability { return liveCapabilities }
 
 func (e *liveEngine) run(d time.Duration) error {
 	timer := time.NewTimer(d)
@@ -132,6 +198,25 @@ func (e *liveEngine) crash(id int) {
 	e.c.mu.Unlock()
 }
 
+// restart brings a churned process back as a fresh incarnation. The rebuild
+// runs inside runtime.Restart, i.e. while the process's callback lock is
+// held, which makes the cluster-table swap atomic with respect to samplers,
+// accessors and the spread hook.
+func (e *liveEngine) restart(id int) {
+	ok := e.rt.Restart(id, func() proc.Node {
+		if err := e.c.buildProcess(id, true); err != nil {
+			panic(fmt.Sprintf("star: rebuilding live process %d: %v", id, err))
+		}
+		return e.c.endpoints[id]
+	})
+	if !ok {
+		return
+	}
+	e.c.mu.Lock()
+	e.c.emit(Event{At: e.now(), Kind: EventRestart, Proc: id})
+	e.c.mu.Unlock()
+}
+
 func (e *liveEngine) crashed(id int) bool { return e.rt.Crashed(id) }
 
 func (e *liveEngine) everCrashed(id int) bool {
@@ -140,8 +225,11 @@ func (e *liveEngine) everCrashed(id int) bool {
 	return e.everCrashedSet[id]
 }
 
-func (e *liveEngine) events() uint64     { return 0 }
-func (e *liveEngine) netStats() NetStats { return NetStats{} }
+func (e *liveEngine) events() uint64 { return 0 }
+
+// netStats converts the runtime's link-tap counters; runtime.Stats mirrors
+// netsim.Stats field for field, so the same public conversion applies.
+func (e *liveEngine) netStats() NetStats { return netStatsFromRuntime(e.rt.Stats()) }
 
 func (e *liveEngine) close() error {
 	e.mu.Lock()
@@ -154,6 +242,10 @@ func (e *liveEngine) close() error {
 	for _, t := range e.crashTimers {
 		t.Stop()
 	}
+	// Timer.Stop does not wait for a callback already running; a crash or
+	// restart that passed the closed check must finish before the runtime
+	// is torn down underneath it.
+	e.pending.Wait()
 	close(e.stop)
 	<-e.done
 	e.rt.Stop()

@@ -118,7 +118,7 @@ func newSimEngine(c *Cluster) (*simEngine, error) {
 			if cn := c.cores[ev.To]; cn != nil {
 				spreadBuf = cn.SuspLevelInto(spreadBuf)
 				if !check.SpreadOK(spreadBuf) {
-					c.spreadViolations++
+					c.spreadViolations.Add(1)
 				}
 			}
 		}
@@ -134,6 +134,8 @@ func newSimEngine(c *Cluster) (*simEngine, error) {
 
 	return e, nil
 }
+
+func (e *simEngine) capabilities() Capability { return simCapabilities }
 
 func (e *simEngine) run(d time.Duration) error {
 	horizon := e.sched.Now().Add(d)

@@ -50,11 +50,12 @@ type config struct {
 
 	transport Transport
 
-	alivePeriod time.Duration
-	timeoutUnit time.Duration
-	sampleEvery time.Duration
-	startSpread time.Duration
-	maxEvents   uint64
+	alivePeriod  time.Duration
+	timeoutUnit  time.Duration
+	sampleEvery  time.Duration
+	startSpread  time.Duration
+	maxEvents    uint64
+	maxEventsSet bool
 
 	retention        int64 // 0 = default; <0 = unbounded
 	checkSpread      bool
@@ -230,23 +231,28 @@ func StartSpread(d time.Duration) Option {
 
 // MaxEvents bounds the number of simulated events a cluster may execute
 // across all Run calls (a runaway-simulation guard; Run returns
-// ErrEventBudget past it). Default: DefaultMaxEvents.
+// ErrEventBudget past it). Requires CapEventBudget — execution metered in
+// simulator events — which only the simulated transport declares.
+// Default: DefaultMaxEvents.
 func MaxEvents(n uint64) Option {
-	return optionFunc(func(c *config) error { c.maxEvents = n; return nil })
+	return optionFunc(func(c *config) error { c.maxEvents = n; c.maxEventsSet = true; return nil })
 }
 
 // CheckSpread verifies the Lemma 8 spread invariant after every delivery
-// (core algorithms on the simulated transport only); violations are counted
-// in Report. Expensive; used by verification runs.
+// (core algorithms); violations are counted in Report. Requires
+// CapSpreadCheck, which both transports declare: the simulator checks on
+// its event loop, the live transport in a per-delivery hook under the
+// receiving process's callback lock. Expensive; used by verification runs.
 func CheckSpread() Option {
 	return optionFunc(func(c *config) error { c.checkSpread = true; return nil })
 }
 
 // Churn schedules rotating churn over the non-center processes: starting at
 // start, every period the next victim crashes for downtime and returns as a
-// fresh incarnation; the rotation stops before until. Simulated transport
-// only. Equivalent to RotatingChurn on the scenario; the cluster-level
-// option overrides the scenario's.
+// fresh incarnation; the rotation stops before until. Requires CapChurn,
+// which both transports declare — virtual-time schedules on the simulator,
+// wall-clock timers live. Equivalent to RotatingChurn on the scenario; the
+// cluster-level option overrides the scenario's.
 func Churn(start, period, downtime, until time.Duration) Option {
 	return optionFunc(func(c *config) error {
 		c.churn = &churnWindows{start: start, period: period, downtime: downtime, until: until}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/runtime"
 	"repro/internal/wire"
 )
 
@@ -54,6 +55,10 @@ type Report struct {
 	// RoundsDone is the max receiving rounds completed by any process.
 	RoundsDone int64
 
+	// Net is the transport traffic at report time (CapNetStats: real on
+	// both transports).
+	Net NetStats
+
 	// FinalTimeouts and TimeoutsStable describe the round-timeout series
 	// (core algorithms): the final value per process, and whether every
 	// never-crashed process's series settled.
@@ -78,8 +83,10 @@ func (r *Report) StabilizationTime() time.Duration {
 	return r.StabilizedAt
 }
 
-// NetStats aggregates transport-level counters. The live transport reports
-// zeros (it has no tap on its channels).
+// NetStats aggregates transport-level counters. Both transports report real
+// traffic (CapNetStats): the simulator counts on its event loop, the live
+// transport through atomic taps on its channel links — so live snapshots
+// are eventually consistent rather than instant-exact.
 type NetStats struct {
 	Sent      uint64 // messages handed to the transport
 	Delivered uint64 // messages delivered to live processes
@@ -97,6 +104,10 @@ type KindStats struct {
 	Count uint64
 	Bytes uint64
 }
+
+// netStatsFromRuntime converts the live transport's link-tap counters;
+// runtime.Stats mirrors netsim.Stats field for field.
+func netStatsFromRuntime(s runtime.Stats) NetStats { return netStatsFrom(netsim.Stats(s)) }
 
 // netStatsFrom converts the internal counters to the public mirror.
 func netStatsFrom(s netsim.Stats) NetStats {
@@ -149,7 +160,9 @@ func nodeMetricsFrom(m core.Metrics) NodeMetrics {
 // Metrics is a point-in-time snapshot of a cluster's mechanical counters
 // (as opposed to Report's domain verdicts).
 type Metrics struct {
-	// Events is the number of simulated events executed so far (0 live).
+	// Events is the number of simulated events executed so far (0 on
+	// transports without CapEventBudget, whose execution is not metered
+	// in events).
 	Events uint64
 	// Net is the transport traffic so far.
 	Net NetStats

@@ -3,6 +3,7 @@ package star_test
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -156,8 +157,8 @@ func TestOptionValidation(t *testing.T) {
 		{"crash center", []star.Option{star.N(5), star.Scenario(star.Combined(star.CrashAt(0, time.Second)))}, star.ErrInvalidParams},
 		{"too many crashes", []star.Option{star.N(5), star.Resilience(1),
 			star.Scenario(star.Combined(star.CrashAt(1, time.Second), star.CrashAt(2, time.Second)))}, star.ErrInvalidParams},
-		{"live churn", []star.Option{star.N(5), star.Live(), star.Churn(time.Second, 2*time.Second, 500*time.Millisecond, 10*time.Second)}, star.ErrUnsupported},
 		{"bad churn", []star.Option{star.N(5), star.Churn(0, time.Second, 2*time.Second, 10*time.Second)}, star.ErrInvalidParams},
+		{"live max events", []star.Option{star.N(5), star.Live(), star.MaxEvents(1000)}, star.ErrUnsupported},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -176,6 +177,60 @@ func TestOptionValidation(t *testing.T) {
 	}
 	if _, err := star.ParseAlgorithm("bogus"); !errors.Is(err, star.ErrUnknownAlgorithm) {
 		t.Errorf("ParseAlgorithm(bogus) = %v", err)
+	}
+}
+
+// TestCapabilityMatrix: every capability-gated option, against every
+// transport, either works or is rejected with ErrUnsupported naming the
+// missing capability — exactly as the transport's DECLARED set predicts.
+// This pins the engine seam's contract: feature×transport support lives in
+// Capabilities(), not in hardcoded checks (live churn, once hardcoded as
+// unsupported, is now simply declared).
+func TestCapabilityMatrix(t *testing.T) {
+	gated := []struct {
+		name    string
+		opt     star.Option
+		cap     star.Capability
+		capName string
+	}{
+		{"churn", star.Churn(50*time.Millisecond, 200*time.Millisecond, 50*time.Millisecond, time.Second), star.CapChurn, "Churn"},
+		{"checkspread", star.CheckSpread(), star.CapSpreadCheck, "SpreadCheck"},
+		{"maxevents", star.MaxEvents(1_000_000), star.CapEventBudget, "EventBudget"},
+	}
+	for _, tr := range []star.Transport{star.Simulated(), star.Live()} {
+		for _, g := range gated {
+			t.Run(tr.String()+"/"+g.name, func(t *testing.T) {
+				c, err := star.New(star.N(4), tr, g.opt)
+				if tr.Capabilities().Has(g.cap) {
+					if err != nil {
+						t.Fatalf("transport declares %v but New failed: %v", g.cap, err)
+					}
+					c.Close()
+					return
+				}
+				if err == nil {
+					c.Close()
+					t.Fatalf("transport lacks %v but New accepted", g.cap)
+				}
+				if !errors.Is(err, star.ErrUnsupported) {
+					t.Fatalf("error %v, want ErrUnsupported", err)
+				}
+				if !strings.Contains(err.Error(), g.capName) {
+					t.Fatalf("error %q does not name the missing capability %s", err, g.capName)
+				}
+			})
+		}
+	}
+	// The declared sets themselves are part of the API.
+	if !star.Simulated().Capabilities().Has(star.CapDeterminism | star.CapNetStats | star.CapEventBudget) {
+		t.Error("simulated transport lost a declared capability")
+	}
+	live := star.Live().Capabilities()
+	if !live.Has(star.CapNetStats | star.CapChurn | star.CapSpreadCheck) {
+		t.Errorf("live transport capabilities = %v, want NetStats|Churn|SpreadCheck", live)
+	}
+	if live.Has(star.CapDeterminism) || live.Has(star.CapEventBudget) {
+		t.Errorf("live transport over-declares: %v", live)
 	}
 }
 

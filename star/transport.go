@@ -1,6 +1,66 @@
 package star
 
-import "time"
+import (
+	"strings"
+	"time"
+)
+
+// Capability is a bit set declaring what a Transport can provide beyond the
+// core contract (run the protocols, crash processes, read state). New
+// validates the requested options against the selected transport's declared
+// capabilities and rejects mismatches with ErrUnsupported naming the missing
+// capability — transports declare what they can do; the façade never
+// hardcodes per-transport feature checks.
+type Capability uint32
+
+const (
+	// CapNetStats: the transport taps its links, so Report().Net and
+	// Metrics().Net carry real traffic counters.
+	CapNetStats Capability = 1 << iota
+	// CapChurn: crash/restart schedules (Churn, RotatingChurn, RestartAt)
+	// execute — crashed processes can return as fresh incarnations.
+	CapChurn
+	// CapSpreadCheck: the CheckSpread option's per-delivery Lemma 8
+	// verification is available.
+	CapSpreadCheck
+	// CapEventBudget: execution is metered in simulator events, so the
+	// MaxEvents budget can be enforced (and Metrics().Events is nonzero).
+	CapEventBudget
+	// CapDeterminism: a run is a pure function of (options, seed). Purely
+	// informational — no option requires it — but callers can branch on it
+	// (the harness's regression suites only make sense with it).
+	CapDeterminism
+)
+
+// capNames, in bit order.
+var capNames = []string{"NetStats", "Churn", "SpreadCheck", "EventBudget", "Determinism"}
+
+// String renders the set like "Churn|NetStats", or "none".
+func (c Capability) String() string {
+	if c == 0 {
+		return "none"
+	}
+	var parts []string
+	for i, name := range capNames {
+		if c&(1<<uint(i)) != 0 {
+			parts = append(parts, name)
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// Has reports whether every capability in want is present.
+func (c Capability) Has(want Capability) bool { return c&want == want }
+
+// The declared capability sets. The simulator does everything; the live
+// transport does everything that does not require virtual time — it counts
+// traffic, executes churn on wall clocks and runs spread checks under the
+// per-process callback locks, but it cannot replay a schedule (goroutine
+// interleaving is real) or meter execution in simulator events.
+const (
+	simCapabilities  = CapNetStats | CapChurn | CapSpreadCheck | CapEventBudget | CapDeterminism
+	liveCapabilities = CapNetStats | CapChurn | CapSpreadCheck
+)
 
 // Transport selects how a cluster executes: on the deterministic
 // discrete-event simulator or live on goroutines with wall-clock timers.
@@ -13,6 +73,9 @@ type Transport interface {
 	Option
 	// String names the transport ("sim" or "live").
 	String() string
+	// Capabilities declares what the transport's engine can provide; New
+	// checks requested options against it (ErrUnsupported on mismatch).
+	Capabilities() Capability
 
 	// newEngine builds the execution engine (sealed).
 	newEngine(c *Cluster) (engine, error)
@@ -26,30 +89,38 @@ func Simulated() Transport { return simTransport{} }
 
 // Live returns the goroutine transport: one goroutine per process, channel
 // links with seeded random delays drawn from the scenario's base-delay
-// range, and wall-clock timers. Run sleeps. The assumption machinery
-// (stars, order gates, adversaries) and churn are simulator-only; the live
-// network is plainly asynchronous. It exists to demonstrate transport
-// independence and to exercise the protocols under real concurrency.
+// range, and wall-clock timers. Run sleeps. The transport is full-featured
+// where live semantics permit — its links carry counting taps (real
+// NetStats), churn schedules execute on wall-clock timers, and CheckSpread
+// runs under the per-process callback locks — but the assumption machinery
+// (stars, order gates, adversaries) is simulator-only: a live network is
+// plainly asynchronous, and goroutine scheduling keeps runs
+// nondeterministic. See Capabilities for the declared split.
 func Live() Transport { return liveTransport{} }
 
 type simTransport struct{}
 
-func (simTransport) String() string          { return "sim" }
-func (t simTransport) apply(c *config) error { c.transport = t; return nil }
+func (simTransport) String() string           { return "sim" }
+func (simTransport) Capabilities() Capability { return simCapabilities }
+func (t simTransport) apply(c *config) error  { c.transport = t; return nil }
 func (t simTransport) newEngine(c *Cluster) (engine, error) {
 	return newSimEngine(c)
 }
 
 type liveTransport struct{}
 
-func (liveTransport) String() string          { return "live" }
-func (t liveTransport) apply(c *config) error { c.transport = t; return nil }
+func (liveTransport) String() string           { return "live" }
+func (liveTransport) Capabilities() Capability { return liveCapabilities }
+func (t liveTransport) apply(c *config) error  { c.transport = t; return nil }
 func (t liveTransport) newEngine(c *Cluster) (engine, error) {
 	return newLiveEngine(c)
 }
 
 // engine is the transport-side half of a Cluster.
 type engine interface {
+	// capabilities echoes the transport's declared capability set (the
+	// engine must actually provide what its transport declared).
+	capabilities() Capability
 	// run advances the cluster by d (virtual or wall time).
 	run(d time.Duration) error
 	// now returns elapsed cluster time.
@@ -65,9 +136,10 @@ type engine interface {
 	// crashed and everCrashed report failure state.
 	crashed(id int) bool
 	everCrashed(id int) bool
-	// events returns the number of simulated events executed (0 live).
+	// events returns the number of simulated events executed (0 without
+	// CapEventBudget).
 	events() uint64
-	// netStats returns transport traffic counters (zero live).
+	// netStats returns transport traffic counters (CapNetStats).
 	netStats() NetStats
 	// close tears the engine down; must be idempotent.
 	close() error
