@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/proc"
 	"repro/internal/rounds"
 	"repro/internal/wire"
@@ -69,6 +70,10 @@ type TimeFreeNode struct {
 	prunedBelow  int64
 	joined       bool
 	crashed      bool
+
+	// restoreSnap, when non-nil, is applied by Start in place of the
+	// fresh init (see RestoreSnapshot; mirrors core.Node).
+	restoreSnap *journal.Snapshot
 }
 
 // NewTimeFree builds the time-free baseline for one process.
@@ -94,7 +99,55 @@ func NewTimeFree(cfg TimeFreeConfig) (*TimeFreeNode, error) {
 func (n *TimeFreeNode) Start(env proc.Env) {
 	n.env = env
 	n.rRN = 1
+	if s := n.restoreSnap; s != nil {
+		n.restoreSnap = nil
+		n.sRN = s.SRN
+		if s.RRN > 1 {
+			n.rRN = s.RRN
+		}
+		copy(n.counter, s.Levels)
+		if s.MaxRoundSeen > n.maxRoundSeen {
+			n.maxRoundSeen = s.MaxRoundSeen
+		}
+		// Restored state replaces the frontier jump (see core.Node).
+		n.joined = true
+		if n.cfg.Retention != 0 {
+			if h := n.maxRoundSeen - n.cfg.Retention; h > n.prunedBelow {
+				n.prunedBelow = h
+			}
+		}
+	}
 	n.beacon()
+}
+
+// ExportSnapshot fills s with the baseline's recovery-relevant state: the
+// counter vector rides Snapshot.Levels. Proc and Incarnation are the
+// caller's to set; Levels reuses s's capacity.
+func (n *TimeFreeNode) ExportSnapshot(s *journal.Snapshot) {
+	s.SRN = n.sRN
+	s.RRN = n.rRN
+	s.MaxRoundSeen = n.maxRoundSeen
+	s.TimeoutUnit = 0 // the baseline has no suspicion timers
+	s.AlivePeriod = n.cfg.Period
+	if cap(s.Levels) < len(n.counter) {
+		s.Levels = make([]int64, len(n.counter))
+	}
+	s.Levels = s.Levels[:len(n.counter)]
+	copy(s.Levels, n.counter)
+}
+
+// RestoreSnapshot stages s to be applied at Start (mirrors core.Node).
+func (n *TimeFreeNode) RestoreSnapshot(s *journal.Snapshot) error {
+	if len(s.Levels) != n.cfg.N {
+		return fmt.Errorf("baseline: snapshot has %d levels, config says %d", len(s.Levels), n.cfg.N)
+	}
+	if s.RRN < 1 || s.SRN < 0 {
+		return fmt.Errorf("baseline: snapshot rounds out of range (sRN=%d, rRN=%d)", s.SRN, s.RRN)
+	}
+	cp := &journal.Snapshot{}
+	s.CopyInto(cp)
+	n.restoreSnap = cp
+	return nil
 }
 
 func (n *TimeFreeNode) beacon() {

@@ -349,6 +349,9 @@ func (p Params) Validate() error {
 		if c.ID < 0 || c.ID >= p.N {
 			return fmt.Errorf("scenario: crash of invalid process %d", c.ID)
 		}
+		if c.At < 0 {
+			return fmt.Errorf("scenario: crash of process %d at negative time %v", c.ID, c.At)
+		}
 		if c.ID == p.Center {
 			return fmt.Errorf("scenario: the star center %d must be correct", c.ID)
 		}
@@ -356,6 +359,9 @@ func (p Params) Validate() error {
 	for _, r := range p.Restarts {
 		if r.ID < 0 || r.ID >= p.N {
 			return fmt.Errorf("scenario: restart of invalid process %d", r.ID)
+		}
+		if r.At < 0 {
+			return fmt.Errorf("scenario: restart of process %d at negative time %v", r.ID, r.At)
 		}
 	}
 	if len(p.Restarts) == 0 {
@@ -369,10 +375,12 @@ func (p Params) Validate() error {
 }
 
 // validateChurn sweeps the crash/restart schedule in time order and checks
-// that (1) every restart follows a crash of the same process, (2) no process
-// crashes twice without an intervening restart, and (3) at no instant are
-// more than T processes down. Ties are broken pessimistically (crashes apply
-// before restarts at the same instant).
+// that (1) the schedule holds no exact duplicate entries, (2) every restart
+// follows — strictly after, a zero-length downtime would mis-simulate — a
+// crash of the same process, (3) no process crashes twice without an
+// intervening restart, and (4) at no instant are more than T processes
+// down. Ties are broken pessimistically (crashes apply before restarts at
+// the same instant).
 func (p Params) validateChurn() error {
 	type ev struct {
 		at      sim.Time
@@ -386,6 +394,17 @@ func (p Params) validateChurn() error {
 	for _, r := range p.Restarts {
 		evs = append(evs, ev{r.At, r.ID, true})
 	}
+	seen := make(map[ev]bool, len(evs))
+	for _, e := range evs {
+		if seen[e] {
+			kind := "crash"
+			if e.restart {
+				kind = "restart"
+			}
+			return fmt.Errorf("scenario: duplicate %s of process %d at %v", kind, e.id, e.at)
+		}
+		seen[e] = true
+	}
 	sort.Slice(evs, func(i, j int) bool {
 		if evs[i].at != evs[j].at {
 			return evs[i].at < evs[j].at
@@ -393,11 +412,16 @@ func (p Params) validateChurn() error {
 		return !evs[i].restart && evs[j].restart
 	})
 	down := make([]bool, p.N)
+	downAt := make([]sim.Time, p.N)
 	ndown := 0
 	for _, e := range evs {
 		if e.restart {
 			if !down[e.id] {
 				return fmt.Errorf("scenario: restart of process %d at %v without a prior crash", e.id, e.at)
+			}
+			if e.at <= downAt[e.id] {
+				return fmt.Errorf("scenario: restart of process %d at %v must come strictly after its crash at %v",
+					e.id, e.at, downAt[e.id])
 			}
 			down[e.id] = false
 			ndown--
@@ -407,6 +431,7 @@ func (p Params) validateChurn() error {
 			return fmt.Errorf("scenario: process %d crashes at %v while already down", e.id, e.at)
 		}
 		down[e.id] = true
+		downAt[e.id] = e.at
 		ndown++
 		if ndown > p.T {
 			return fmt.Errorf("scenario: %d processes down at %v exceeds T=%d", ndown, e.at, p.T)

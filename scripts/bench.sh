@@ -5,10 +5,26 @@
 # Usage:
 #   scripts/bench.sh [output.json]
 #   scripts/bench.sh --diff OLD.json NEW.json
+#   scripts/bench.sh --gate [BASELINE.json]
 #
 # Environment (record mode):
 #   BENCH      benchmark regexp passed to -bench   (default: .)
 #   BENCHTIME  iterations/duration per benchmark   (default: 3x)
+#
+# Gate mode runs a fresh benchmark pass and compares it against BASELINE.json
+# (default: the newest BENCH_*.json by version sort), exiting non-zero on a
+# regression beyond the noise bands. Only benchmarks present in BOTH files
+# are compared; renamed or new benchmarks never fail the gate. The bands:
+#
+#   GATE_ALLOC_BAND (default 0.15) — allocs/op may grow at most 15% (plus an
+#     absolute slack of 2 allocs for near-zero baselines). Allocation counts
+#     are deterministic per iteration, so this band is tight: it only
+#     absorbs count changes from intentional landscape shifts, not timing.
+#   GATE_VE_BAND (default 0.50) — vevents/s (simulated throughput) may drop
+#     at most 50%. Wall-clock throughput on shared CI runners routinely
+#     jitters by 2x, so this band is wide by design: it catches order-of-
+#     magnitude cliffs (accidental O(n^2), lock thrash), not percent-level
+#     drift. Use --diff locally for fine-grained comparisons.
 #
 # Record mode output: a JSON array of objects, one per benchmark, e.g.
 #   {"name":"BenchmarkF1Election/fig1","iterations":3,"ns_op":8044970,
@@ -86,6 +102,86 @@ if [ "${1:-}" = "--diff" ]; then
 			}
 		}
 	' "$old" "$new"
+	exit 0
+fi
+
+if [ "${1:-}" = "--gate" ]; then
+	base="${2:-}"
+	if [ -z "$base" ]; then
+		base=$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)
+	fi
+	if [ -z "$base" ] || [ ! -f "$base" ]; then
+		echo "bench gate: no baseline BENCH_*.json found; nothing to gate" >&2
+		exit 0
+	fi
+	alloc_band="${GATE_ALLOC_BAND:-0.15}"
+	ve_band="${GATE_VE_BAND:-0.50}"
+	tmp=$(mktemp)
+	trap 'rm -f "$tmp"' EXIT
+	echo "bench gate: baseline $base, bands: allocs +${alloc_band}, vevents/s -${ve_band}" >&2
+	"$0" "$tmp"
+	awk -v oldfile="$base" -v ab="$alloc_band" -v vb="$ve_band" '
+		function getnum(line, key,   re, m) {
+			re = "\"" key "\":[-0-9.e+]+"
+			if (match(line, re)) {
+				m = substr(line, RSTART, RLENGTH)
+				sub("\"" key "\":", "", m)
+				return m + 0
+			}
+			return ""
+		}
+		function getname(line,   m) {
+			if (match(line, /"name":"[^"]+"/)) {
+				return substr(line, RSTART + 8, RLENGTH - 9)
+			}
+			return ""
+		}
+		{
+			name = getname($0)
+			if (name == "") next
+			if (FILENAME == oldfile) {
+				seen_old[name] = 1
+				old_al[name] = getnum($0, "allocs_op")
+				old_ve[name] = getnum($0, "vevents_s")
+			} else {
+				order[++n_new] = name
+				new_al[name] = getnum($0, "allocs_op")
+				new_ve[name] = getnum($0, "vevents_s")
+			}
+		}
+		END {
+			bad = 0
+			print "| benchmark | allocs/op base -> new | vevents/s base -> new | verdict |"
+			print "|---|---:|---:|---|"
+			for (i = 1; i <= n_new; i++) {
+				name = order[i]
+				if (!seen_old[name]) {
+					printf "| %s | - -> %.0f | - -> %.0f | new (not gated) |\n", \
+						name, new_al[name], new_ve[name]
+					continue
+				}
+				verdict = "ok"
+				if (old_al[name] != "" && new_al[name] != "" && \
+					new_al[name] > old_al[name] * (1 + ab) + 2) {
+					verdict = "ALLOC REGRESSION"
+					bad = 1
+				}
+				if (old_ve[name] != "" && new_ve[name] != "" && \
+					new_ve[name] < old_ve[name] * (1 - vb)) {
+					verdict = (verdict == "ok") ? "THROUGHPUT REGRESSION" : verdict " + THROUGHPUT"
+					bad = 1
+				}
+				printf "| %s | %.0f -> %.0f | %.0f -> %.0f | %s |\n", name, \
+					old_al[name], new_al[name], old_ve[name], new_ve[name], verdict
+			}
+			if (bad) {
+				print "bench gate: REGRESSION beyond the noise bands (see table)" > "/dev/stderr"
+			} else {
+				print "bench gate: within the noise bands" > "/dev/stderr"
+			}
+			exit bad
+		}
+	' "$base" "$tmp"
 	exit 0
 fi
 

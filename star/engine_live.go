@@ -33,6 +33,9 @@ type liveEngine struct {
 
 	stop chan struct{}
 	done chan struct{}
+	// snapDone tracks the recovery snapshot goroutine (nil without
+	// WithRecovery).
+	snapDone chan struct{}
 
 	mu             sync.Mutex
 	everCrashedSet []bool
@@ -162,6 +165,26 @@ func newLiveEngine(c *Cluster) (*liveEngine, error) {
 			}
 		}
 	}()
+
+	// The recovery-journal cadence, on its own ticker goroutine: the
+	// sweep exports under the per-process callback locks and saves
+	// outside them, so journal I/O never stalls protocol callbacks.
+	if c.cfg.recovery != nil {
+		e.snapDone = make(chan struct{})
+		go func() {
+			defer close(e.snapDone)
+			t := time.NewTicker(c.cfg.snapshotEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-e.stop:
+					return
+				case <-t.C:
+					c.snapshotAll()
+				}
+			}
+		}()
+	}
 	return e, nil
 }
 
@@ -212,7 +235,14 @@ func (e *liveEngine) restart(id int) {
 	if !ok {
 		return
 	}
+	// The recovery outcome was recorded by buildProcess inside Restart
+	// (same goroutine); emit it before the restart event, serialized with
+	// the sampler's emissions by the collector mutex.
 	e.c.mu.Lock()
+	if e.c.cfg.recovery != nil {
+		out := e.c.recOutcomes[id]
+		e.c.emit(Event{At: e.now(), Kind: EventRecovery, Proc: id, Round: out.round, Err: out.err})
+	}
 	e.c.emit(Event{At: e.now(), Kind: EventRestart, Proc: id})
 	e.c.mu.Unlock()
 }
@@ -248,6 +278,9 @@ func (e *liveEngine) close() error {
 	e.pending.Wait()
 	close(e.stop)
 	<-e.done
+	if e.snapDone != nil {
+		<-e.snapDone
+	}
 	e.rt.Stop()
 	return nil
 }

@@ -99,6 +99,11 @@ func newSimEngine(c *Cluster) (*simEngine, error) {
 			if err := c.buildProcess(id, true); err != nil {
 				panic(fmt.Sprintf("star: rebuilding process %d: %v", id, err))
 			}
+			if c.cfg.recovery != nil {
+				out := c.recOutcomes[id]
+				c.emit(Event{At: time.Duration(sched.Now()), Kind: EventRecovery,
+					Proc: id, Round: out.round, Err: out.err})
+			}
 			return c.endpoints[id]
 		})
 		if c.cfg.observer != nil && c.cfg.observeMask&EventRestart != 0 {
@@ -131,6 +136,19 @@ func newSimEngine(c *Cluster) (*simEngine, error) {
 		sched.After(c.cfg.sampleEvery, tick)
 	}
 	sched.After(c.cfg.sampleEvery, tick)
+
+	// The recovery-journal cadence, in virtual time: with a deterministic
+	// store (MemJournal) the journal contents — and therefore every
+	// restore — are a pure function of (options, seed) like the rest of
+	// the run.
+	if c.cfg.recovery != nil {
+		var snapTick func()
+		snapTick = func() {
+			c.snapshotAll()
+			sched.After(c.cfg.snapshotEvery, snapTick)
+		}
+		sched.After(c.cfg.snapshotEvery, snapTick)
+	}
 
 	return e, nil
 }

@@ -32,4 +32,11 @@ var (
 
 	// ErrBadProcess marks a process id outside [0, N).
 	ErrBadProcess = errors.New("star: process id out of range")
+
+	// ErrCorruptJournal marks recovery-journal damage (CRC or framing
+	// violations, or a snapshot rejected by shape validation). It is never
+	// fatal: the affected restart falls back to the fresh-start +
+	// JoinCurrentRound path, and the error is surfaced on the restart's
+	// EventRecovery (Event.Err) for observers.
+	ErrCorruptJournal = errors.New("star: corrupt recovery journal")
 )

@@ -23,6 +23,14 @@ type ChurnSpec struct {
 	Downtime time.Duration
 	// Duration is the virtual run length. 0 means 30s.
 	Duration time.Duration
+	// Recovery attaches a fresh in-memory recovery journal: restarted
+	// incarnations resume from their last snapshot (the crash-recovery
+	// path) instead of the fresh-start round-frontier jump. The journal
+	// is deterministic, so the run stays reproducible seed for seed.
+	Recovery bool
+	// SnapshotEvery is the journal cadence (needs Recovery). 0 means the
+	// star default.
+	SnapshotEvery time.Duration
 }
 
 func (s ChurnSpec) withDefaults() ChurnSpec {
@@ -52,11 +60,16 @@ func (s ChurnSpec) withDefaults() ChurnSpec {
 // late-round discards and perpetual re-suspicion on the survivors').
 func ChurnConfig(spec ChurnSpec) Config {
 	spec = spec.withDefaults()
-	return Config{
+	cfg := Config{
 		N: spec.N, T: spec.T, Seed: spec.Seed,
 		Scenario: star.Combined(
 			star.RotatingChurn(spec.Start, spec.Period, spec.Downtime, spec.Duration)),
 		Algo:     spec.Algo,
 		Duration: spec.Duration,
 	}
+	if spec.Recovery {
+		cfg.Recovery = star.MemJournal()
+		cfg.SnapshotEvery = spec.SnapshotEvery
+	}
+	return cfg
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -74,6 +75,38 @@ func TestChurnTimeFreeBaselineRejoins(t *testing.T) {
 	}
 }
 
+// TestChurnRecoveryPreset drives the crash-recovery rejoin mode through the
+// harness: every restart restores from the in-memory journal (no
+// fallbacks), the cluster stabilizes on the never-crashed center, and the
+// run — journal included — is deterministic seed for seed.
+func TestChurnRecoveryPreset(t *testing.T) {
+	mk := func() *Result {
+		cfg := ChurnConfig(ChurnSpec{N: 5, T: 2, Seed: 11, Duration: 20 * time.Second, Recovery: true})
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := mk()
+	if !res.Report.Stabilized || res.Report.Leader != 0 {
+		t.Fatalf("recovery churn: stabilized=%v leader=%d, want center 0", res.Report.Stabilized, res.Report.Leader)
+	}
+	if res.Recovery.Snapshots == 0 || res.Recovery.Restores == 0 {
+		t.Fatalf("recovery never engaged: %+v", res.Recovery)
+	}
+	if res.Recovery.Fallbacks != 0 || res.Recovery.SaveErrors != 0 {
+		t.Fatalf("clean MemJournal run degraded: %+v", res.Recovery)
+	}
+	res2 := mk()
+	if a, b := domainSignature(res), domainSignature(res2); a != b {
+		t.Errorf("recovery churn not deterministic:\n run1: %s\n run2: %s", a, b)
+	}
+	if res.Recovery != res2.Recovery {
+		t.Errorf("recovery counters diverged: %+v vs %+v", res.Recovery, res2.Recovery)
+	}
+}
+
 // TestChurnScheduleValidation covers the resilience sweep for churn
 // schedules (through the façade's scenario options).
 func TestChurnScheduleValidation(t *testing.T) {
@@ -108,5 +141,34 @@ func TestChurnScheduleValidation(t *testing.T) {
 		star.RestartAt(1, 3*time.Second),
 	); err == nil {
 		t.Fatal("double crash accepted")
+	}
+	// A restart at the exact crash instant is a zero-length downtime:
+	// rejected, and as ErrInvalidParams like every other schedule bug.
+	if err := build(
+		star.CrashAt(1, time.Second), star.RestartAt(1, time.Second),
+	); !errors.Is(err, star.ErrInvalidParams) {
+		t.Fatalf("restart at crash instant: err = %v, want ErrInvalidParams", err)
+	}
+	// Exact duplicate entries are schedule bugs, not idempotent no-ops.
+	if err := build(
+		star.CrashAt(1, time.Second), star.CrashAt(1, time.Second),
+		star.RestartAt(1, 2*time.Second),
+	); !errors.Is(err, star.ErrInvalidParams) {
+		t.Fatalf("duplicate crash: err = %v, want ErrInvalidParams", err)
+	}
+	if err := build(
+		star.CrashAt(1, time.Second),
+		star.RestartAt(1, 2*time.Second), star.RestartAt(1, 2*time.Second),
+	); !errors.Is(err, star.ErrInvalidParams) {
+		t.Fatalf("duplicate restart: err = %v, want ErrInvalidParams", err)
+	}
+	// Negative instants and out-of-range ids never reach the engines.
+	if err := build(star.CrashAt(1, -time.Second)); !errors.Is(err, star.ErrInvalidParams) {
+		t.Fatalf("negative crash time: err = %v, want ErrInvalidParams", err)
+	}
+	if err := build(
+		star.CrashAt(1, time.Second), star.RestartAt(9, 2*time.Second),
+	); !errors.Is(err, star.ErrInvalidParams) {
+		t.Fatalf("out-of-range restart id: err = %v, want ErrInvalidParams", err)
 	}
 }

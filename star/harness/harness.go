@@ -78,6 +78,22 @@ type Config struct {
 	// (only meaningful for fig3/fg).
 	CheckSpread bool
 
+	// Recovery attaches a recovery journal (star.WithRecovery): restarted
+	// incarnations resume from their last periodic snapshot instead of
+	// jumping to the round frontier. The zero value means no journal. The
+	// store is caller-owned: with star.MemJournal() per config the run
+	// stays a pure function of (options, seed).
+	Recovery star.RecoveryStore
+	// SnapshotEvery is the journal cadence (needs Recovery). 0 means the
+	// star default.
+	SnapshotEvery time.Duration
+
+	// AdaptiveRetention lets each node tune its retention horizon under
+	// the configured Retention ceiling (which must then be > 0);
+	// AdaptiveTimeouts enables the contradiction-driven timeout backoff.
+	AdaptiveRetention bool
+	AdaptiveTimeouts  bool
+
 	// MaxEvents aborts runaway simulations. 0 means the star default.
 	MaxEvents uint64
 
@@ -137,6 +153,10 @@ type Result struct {
 	// CoreMetrics are the per-node counters (core algorithms only).
 	CoreMetrics []star.NodeMetrics
 
+	// Recovery summarizes the journal activity (all zero without
+	// Config.Recovery).
+	Recovery star.RecoveryStats
+
 	// Elapsed is real (wall-clock) time spent simulating.
 	Elapsed time.Duration
 }
@@ -179,6 +199,18 @@ func (c Config) options() []star.Option {
 	if c.CheckSpread {
 		opts = append(opts, star.CheckSpread())
 	}
+	if c.Recovery != (star.RecoveryStore{}) {
+		opts = append(opts, star.WithRecovery(c.Recovery))
+		if c.SnapshotEvery != 0 {
+			opts = append(opts, star.SnapshotEvery(c.SnapshotEvery))
+		}
+	}
+	if c.AdaptiveRetention {
+		opts = append(opts, star.AdaptiveRetention())
+	}
+	if c.AdaptiveTimeouts {
+		opts = append(opts, star.AdaptiveTimeouts())
+	}
 	return opts
 }
 
@@ -217,6 +249,7 @@ func gather(cfg Config, c *star.Cluster) *Result {
 		LeaderAtEnd:         rep.LeaderAtEnd,
 		FinalLevels:         rep.FinalLevels,
 		CoreMetrics:         m.Nodes,
+		Recovery:            rep.Recovery,
 		Elapsed:             m.Elapsed,
 	}
 	if cfg.KeepTimeline {

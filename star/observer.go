@@ -28,6 +28,13 @@ const (
 	// EventDecide fires on every consensus decision (WithConsensus).
 	// Proc is the deciding process, Round the instance number.
 	EventDecide
+	// EventRecovery fires when a restarted incarnation resolved its
+	// recovery (WithRecovery), immediately before that restart's
+	// EventRestart. Proc is the process; Round is the restored receiving
+	// round (0 when the journal had nothing and the incarnation fell back
+	// to the fresh-start + JoinCurrentRound path); Err carries the typed
+	// failure (wrapping ErrCorruptJournal) when the journal was damaged.
+	EventRecovery
 
 	// EventAll selects every event class.
 	EventAll EventKind = 1<<iota - 1
@@ -50,7 +57,11 @@ type Event struct {
 	Proc int
 	// Leader is the new leader estimate (EventLeaderChange).
 	Leader int
-	// Round is the receiving round (EventRoundAdvance) or the consensus
-	// instance (EventDecide).
+	// Round is the receiving round (EventRoundAdvance), the consensus
+	// instance (EventDecide), or the restored receiving round
+	// (EventRecovery; 0 on fallback).
 	Round int64
+	// Err is the typed failure behind a degraded event (EventRecovery
+	// with a damaged journal: wraps ErrCorruptJournal). Nil otherwise.
+	Err error
 }

@@ -3,6 +3,8 @@ package star
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/journal"
 )
 
 // Option configures a cluster. Options are applied in order by New; later
@@ -37,6 +39,10 @@ const (
 	DefaultSampleEvery = 20 * time.Millisecond
 	DefaultStartSpread = 5 * time.Millisecond
 	DefaultMaxEvents   = 200_000_000
+
+	// DefaultSnapshotEvery is the recovery-journal cadence when
+	// WithRecovery is set without SnapshotEvery.
+	DefaultSnapshotEvery = 100 * time.Millisecond
 )
 
 // config is the merged option set.
@@ -59,6 +65,11 @@ type config struct {
 
 	retention        int64 // 0 = default; <0 = unbounded
 	checkSpread      bool
+	recovery         journal.Store
+	snapshotEvery    time.Duration
+	snapshotSet      bool
+	adaptRetention   bool
+	adaptTimeouts    bool
 	churn            *churnWindows
 	observer         func(Event)
 	observeMask      EventKind
@@ -103,6 +114,15 @@ func (c *config) finish() error {
 		c.retention = DefaultRetention
 	} else if c.retention < 0 {
 		c.retention = 0 // unbounded, the protocol layers' encoding
+	}
+	if c.snapshotSet && c.recovery == nil {
+		return fmt.Errorf("%w: SnapshotEvery needs WithRecovery", ErrInvalidParams)
+	}
+	if c.recovery != nil && c.snapshotEvery == 0 {
+		c.snapshotEvery = DefaultSnapshotEvery
+	}
+	if c.adaptRetention && c.retention == 0 {
+		return fmt.Errorf("%w: AdaptiveRetention needs bounded retention (it tunes within the Retention ceiling; drop UnboundedRetention)", ErrInvalidParams)
 	}
 	if c.transport == nil {
 		c.transport = Simulated()
@@ -287,6 +307,93 @@ func WithConsensus(onDecide func(p int, instance, value int64)) Option {
 		c.onDecide = onDecide
 		return nil
 	})
+}
+
+// RecoveryStore is an opaque handle to a recovery journal, produced by
+// MemJournal or FileJournal and consumed by WithRecovery. The cluster does
+// not close it — a store outlives the clusters it serves (that is the whole
+// point of the durable ones), so Close it yourself when done.
+type RecoveryStore struct {
+	s journal.Store
+}
+
+// Close releases the underlying journal (flushing file-backed ones).
+func (r RecoveryStore) Close() error {
+	if r.s == nil {
+		return nil
+	}
+	return r.s.Close()
+}
+
+// MemJournal returns an in-memory recovery journal: snapshots survive
+// process restarts within (or across, if you reuse the store) cluster
+// lifetimes, but not the hosting process.
+func MemJournal() RecoveryStore { return RecoveryStore{s: journal.NewMem()} }
+
+// FileJournal opens (creating if absent) a durable recovery journal at
+// path: length-prefixed, CRC-protected records, append-only. A corrupt
+// journal does not fail the open — the valid prefix is loaded, the damaged
+// suffix discarded, and affected restarts surface ErrCorruptJournal through
+// EventRecovery while falling back gracefully.
+func FileJournal(path string) (RecoveryStore, error) {
+	fs, err := journal.OpenFile(path)
+	if err != nil {
+		return RecoveryStore{}, fmt.Errorf("%w: %v", ErrInvalidParams, err)
+	}
+	return RecoveryStore{s: fs}, nil
+}
+
+// WithRecovery replaces the amnesia churn model with durable crash
+// recovery: every process's recovery-relevant state (susp_level vector,
+// round counters, tuned timing knobs) is snapshotted into the journal on
+// the SnapshotEvery cadence, and a restarted incarnation restores its last
+// snapshot instead of starting empty and taking the round-frontier jump. A
+// corrupt or missing journal degrades to exactly that jump path, with
+// ErrCorruptJournal surfaced via Observe(EventRecovery). Requires
+// CapRecovery, which both transports declare.
+func WithRecovery(rs RecoveryStore) Option {
+	return optionFunc(func(c *config) error {
+		if rs.s == nil {
+			return fmt.Errorf("%w: WithRecovery needs a journal (use MemJournal or FileJournal)", ErrInvalidParams)
+		}
+		c.recovery = rs.s
+		return nil
+	})
+}
+
+// SnapshotEvery sets the recovery-journal cadence (how often each live
+// process's state is written to the WithRecovery store).
+// Default: DefaultSnapshotEvery.
+func SnapshotEvery(d time.Duration) Option {
+	return optionFunc(func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("%w: SnapshotEvery must be positive, got %v", ErrInvalidParams, d)
+		}
+		c.snapshotEvery = d
+		c.snapshotSet = true
+		return nil
+	})
+}
+
+// AdaptiveRetention lets each core-algorithm process size its own pruning
+// horizon from the observed round spread and suspicion levels, instead of
+// holding the full configured Retention at all times: the horizon starts at
+// a small floor and grows (shrinks with hysteresis) as the run demands,
+// with Retention as the ceiling. Conflicts with UnboundedRetention — there
+// is no ceiling to tune within.
+func AdaptiveRetention() Option {
+	return optionFunc(func(c *config) error { c.adaptRetention = true; return nil })
+}
+
+// AdaptiveTimeouts enables self-tuning of the effective TimeoutUnit and
+// AlivePeriod in each core-algorithm process: suspicions later contradicted
+// by an ALIVE from the suspect (false positives — the signature of timeouts
+// too tight for the actual network, e.g. the live transport on a loaded
+// machine) back both knobs off multiplicatively, bounded; sustained calm
+// decays them back toward the configured base. With WithRecovery, the tuned
+// values survive restarts via the journal.
+func AdaptiveTimeouts() Option {
+	return optionFunc(func(c *config) error { c.adaptTimeouts = true; return nil })
 }
 
 // WithAtomicBroadcast stacks total-order broadcast on repeated consensus

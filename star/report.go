@@ -59,6 +59,10 @@ type Report struct {
 	// both transports).
 	Net NetStats
 
+	// Recovery summarizes the WithRecovery journal activity (all zero
+	// without it).
+	Recovery RecoveryStats
+
 	// FinalTimeouts and TimeoutsStable describe the round-timeout series
 	// (core algorithms): the final value per process, and whether every
 	// never-crashed process's series settled.
@@ -105,6 +109,18 @@ type KindStats struct {
 	Bytes uint64
 }
 
+// RecoveryStats summarizes a cluster's WithRecovery journal activity.
+type RecoveryStats struct {
+	// Snapshots counts successful journal saves; SaveErrors failed ones.
+	Snapshots  uint64
+	SaveErrors uint64
+	// Restores counts restarted incarnations that resumed from a
+	// journaled snapshot; Fallbacks those that found the journal missing
+	// or corrupt and degraded to the fresh-start + JoinCurrentRound path.
+	Restores  uint64
+	Fallbacks uint64
+}
+
 // netStatsFromRuntime converts the live transport's link-tap counters;
 // runtime.Stats mirrors netsim.Stats field for field.
 func netStatsFromRuntime(s runtime.Stats) NetStats { return netStatsFrom(netsim.Stats(s)) }
@@ -140,6 +156,13 @@ type NodeMetrics struct {
 	// served by it. Both ~0 in non-adversarial runs.
 	WindowEvictions uint64
 	WindowOverflow  uint64
+
+	// Self-tuning observability (AdaptiveRetention / AdaptiveTimeouts):
+	// the effective retention horizon now, how many times it grew, and
+	// how many adaptive timeout backoffs fired.
+	RetentionNow    int64
+	RetentionGrows  uint64
+	TimeoutBackoffs uint64
 }
 
 func nodeMetricsFrom(m core.Metrics) NodeMetrics {
@@ -154,6 +177,9 @@ func nodeMetricsFrom(m core.Metrics) NodeMetrics {
 		DupSuspicion:    m.DupSuspicion,
 		WindowEvictions: m.WindowEvictions,
 		WindowOverflow:  m.WindowOverflow,
+		RetentionNow:    m.RetentionNow,
+		RetentionGrows:  m.RetentionGrows,
+		TimeoutBackoffs: m.TimeoutBackoffs,
 	}
 }
 

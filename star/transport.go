@@ -30,10 +30,14 @@ const (
 	// informational — no option requires it — but callers can branch on it
 	// (the harness's regression suites only make sense with it).
 	CapDeterminism
+	// CapRecovery: the transport's restart path can restore a journaled
+	// snapshot into the new incarnation (WithRecovery), and the engine
+	// drives the periodic snapshot cadence.
+	CapRecovery
 )
 
 // capNames, in bit order.
-var capNames = []string{"NetStats", "Churn", "SpreadCheck", "EventBudget", "Determinism"}
+var capNames = []string{"NetStats", "Churn", "SpreadCheck", "EventBudget", "Determinism", "Recovery"}
 
 // String renders the set like "Churn|NetStats", or "none".
 func (c Capability) String() string {
@@ -58,8 +62,8 @@ func (c Capability) Has(want Capability) bool { return c&want == want }
 // per-process callback locks, but it cannot replay a schedule (goroutine
 // interleaving is real) or meter execution in simulator events.
 const (
-	simCapabilities  = CapNetStats | CapChurn | CapSpreadCheck | CapEventBudget | CapDeterminism
-	liveCapabilities = CapNetStats | CapChurn | CapSpreadCheck
+	simCapabilities  = CapNetStats | CapChurn | CapSpreadCheck | CapEventBudget | CapDeterminism | CapRecovery
+	liveCapabilities = CapNetStats | CapChurn | CapSpreadCheck | CapRecovery
 )
 
 // Transport selects how a cluster executes: on the deterministic
