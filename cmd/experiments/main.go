@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -30,9 +31,11 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller configurations (for smoke runs)")
 	seed := flag.Uint64("seed", 42, "base random seed")
 	workers := flag.Int("workers", 0, "concurrent simulations per experiment (<=0: one per CPU)")
+	out := flag.String("out", "", "archive each experiment's table as CSV under <out>/<stamp>/<id>.csv (e.g. -out paper_runs)")
 	flag.Parse()
 
-	s := &suite{quick: *quick, seed: *seed, workers: *workers}
+	s := &suite{quick: *quick, seed: *seed, workers: *workers,
+		outDir: *out, stamp: time.Now().Format("20060102-150405")}
 	experiments := []struct {
 		id   string
 		name string
@@ -58,6 +61,7 @@ func main() {
 			continue
 		}
 		ran = true
+		s.curID, s.curName = e.id, e.name
 		fmt.Printf("## %s — %s\n\n", e.id, e.name)
 		start := time.Now()
 		if err := e.run(); err != nil {
@@ -76,6 +80,34 @@ type suite struct {
 	quick   bool
 	seed    uint64
 	workers int
+
+	// Archival (-out): every experiment's table is also written as CSV to
+	// <outDir>/<stamp>/<id>.csv with a "# key=value" params header, so a
+	// paper run is a directory of reproducible, diffable artifacts.
+	outDir         string
+	stamp          string
+	curID, curName string
+}
+
+// print emits an experiment's table to stdout as markdown and, with -out
+// set, archives it as CSV.
+func (s *suite) print(tb *table) error {
+	fmt.Println(tb.Markdown())
+	if s.outDir == "" {
+		return nil
+	}
+	dir := filepath.Join(s.outDir, s.stamp)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# experiment=%s\n", s.curID)
+	fmt.Fprintf(&b, "# name=%s\n", s.curName)
+	fmt.Fprintf(&b, "# seed=%d\n", s.seed)
+	fmt.Fprintf(&b, "# quick=%v\n", s.quick)
+	fmt.Fprintf(&b, "# generated=%s\n", time.Now().Format(time.RFC3339))
+	b.WriteString(tb.CSV())
+	return os.WriteFile(filepath.Join(dir, s.curID+".csv"), []byte(b.String()), 0o644)
 }
 
 // dur scales experiment durations down in -quick mode.
@@ -122,7 +154,9 @@ func (s *suite) runF1() error {
 			res.Report.Leader, res.Report.Changes, res.MaxSuspLevel, res.BoundB,
 			res.NetStats.Sent, res.Events)
 	}
-	fmt.Println(tb.Markdown())
+	if err := s.print(tb); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -150,7 +184,9 @@ func (s *suite) runF2() error {
 			verdict(res.Report.Stabilized && res.TimeoutsStable),
 			res.Report.Changes, res.MaxSuspLevel, res.StabilizationTime())
 	}
-	fmt.Println(tb.Markdown())
+	if err := s.print(tb); err != nil {
+		return err
+	}
 	fmt.Println("Expected shape: fig1 never converges (churn or growing timeouts);" +
 		" fig2 and fig3 stabilize for every D.")
 	fmt.Println()
@@ -196,7 +232,9 @@ func (s *suite) runF3() error {
 		tb.AddRow(algo, verdict(res.Report.Stabilized), res.MaxSuspLevel, res.BoundB,
 			bound, spread, verdict(res.TimeoutsStable), maxTO)
 	}
-	fmt.Println(tb.Markdown())
+	if err := s.print(tb); err != nil {
+		return err
+	}
 	fmt.Println("Expected shape: with a crashed process, fig2's susp_level and timeouts grow" +
 		" without bound while fig3 keeps every variable within B+1 (Theorem 4) and its" +
 		" timeouts settle; the per-process spread never exceeds 1 (Lemma 8).")
@@ -229,7 +267,9 @@ func (s *suite) runF4() error {
 		tb.AddRow(cfgs[i].Algo, verdict(res.Report.Stabilized), res.Report.Leader,
 			res.MaxSuspLevel, res.Report.Changes)
 	}
-	fmt.Println(tb.Markdown())
+	if err := s.print(tb); err != nil {
+		return err
+	}
 	fmt.Println("Expected shape: with gaps growing as D+f(s_k) and delays as delta+g(rn)," +
 		" plain fig3 loses the center protection (its levels keep climbing) while the" +
 		" §7 algorithm, knowing f and g, stabilizes.")
@@ -278,7 +318,9 @@ func (s *suite) runT5() error {
 			verdict(res.Agreement), verdict(res.Validity), res.MeanLatency,
 			res.Ballots, res.NetStats.Sent)
 	}
-	fmt.Println(tb.Markdown())
+	if err := s.print(tb); err != nil {
+		return err
+	}
 	fmt.Println("Theorem 5: majority of correct processes + intermittent rotating t-star" +
 		" => consensus terminates with agreement and validity.")
 	fmt.Println()
@@ -319,7 +361,9 @@ func (s *suite) runC1() error {
 		}
 		tb.AddRow(row...)
 	}
-	fmt.Println(tb.Markdown())
+	if err := s.print(tb); err != nil {
+		return err
+	}
 	fmt.Println("Cells: converge = common correct leader with settled timeouts;" +
 		" unbounded = leadership settled within the horizon but timeouts still growing" +
 		" (divergence in the limit); diverge = leadership churned to the end.")
@@ -352,7 +396,9 @@ func (s *suite) runQ1() error {
 		}
 		tb.AddRow(ds[i], res.StabilizationTime(), res.MaxSuspLevel, res.BoundB, maxTO, res.RoundsDone)
 	}
-	fmt.Println(tb.Markdown())
+	if err := s.print(tb); err != nil {
+		return err
+	}
 	fmt.Println("Expected shape: the level bound B (and hence the calibrated timeout)" +
 		" grows with the intermittence gap D — susp_level absorbs the gap (§5).")
 	fmt.Println()
@@ -383,7 +429,9 @@ func (s *suite) runQ2() error {
 		tb.AddRow(n, cfgs[i].T, res.StabilizationTime(), res.NetStats.Sent, perRound,
 			res.NetStats.Bytes, res.Events)
 	}
-	fmt.Println(tb.Markdown())
+	if err := s.print(tb); err != nil {
+		return err
+	}
 	fmt.Println("Message complexity per process per round is ~(n-1) ALIVE + n SUSPICION" +
 		" sends, i.e. linear in n (quadratic system-wide), as the algorithm prescribes.")
 	fmt.Println()
@@ -424,7 +472,9 @@ func (s *suite) runQ3() error {
 		}
 		tb.AddRow(cfgs[i].TimeoutUnit.String(), res.BoundB, res.MaxSuspLevel, maxTO, res.StabilizationTime())
 	}
-	fmt.Println(tb.Markdown())
+	if err := s.print(tb); err != nil {
+		return err
+	}
 	fmt.Println("Expected shape: B stays at the structure-determined value (compare Q1's" +
 		" D column) across a 100x change of the timer unit; the stabilized timeout is" +
 		" ~B x unit. All variables except round numbers stay bounded (§6).")
@@ -469,7 +519,9 @@ func (s *suite) runA1() error {
 		tb.AddRow(rows[i].label, verdict(res.Report.Stabilized), verdict(res.TimeoutsStable),
 			res.MaxSuspLevel, rows[i].notes)
 	}
-	fmt.Println(tb.Markdown())
+	if err := s.print(tb); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -520,7 +572,9 @@ func (s *suite) runCH() error {
 			res.MaxSuspLevel, late, over, res.Recovery.Restores, res.Recovery.Fallbacks,
 			res.RoundsDone, res.Events)
 	}
-	fmt.Println(tb.Markdown())
+	if err := s.print(tb); err != nil {
+		return err
+	}
 	fmt.Println("Expected shape: every variant keeps a never-crashed leader through the" +
 		" churn in both modes. In jump mode rebooting peers restart at round 1 and" +
 		" re-learn suspicion levels from scratch (higher maxLevel); in recover mode" +

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/csv"
 	"fmt"
 	"strings"
 	"time"
@@ -34,6 +35,19 @@ func (t *table) AddRow(cells ...any) {
 		}
 	}
 	t.rows = append(t.rows, row)
+}
+
+// CSV renders the table as RFC 4180 CSV (header row first). The archive
+// writer (-out) prepends its own "# key=value" params comment block.
+func (t *table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	w.Write(t.header)
+	for _, row := range t.rows {
+		w.Write(row)
+	}
+	w.Flush()
+	return b.String()
 }
 
 // Markdown renders the table.

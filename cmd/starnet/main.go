@@ -1,0 +1,451 @@
+// Command starnet runs a leader-election cluster over the real TCP
+// transport (star.Network), from a shared JSON topology file. It is built
+// entirely on the public star API and has three modes:
+//
+//	starnet -topo t.json                      # all members in this process
+//	starnet -topo t.json -member 2            # host member 2 only
+//	starnet -topo t.json -spawn -duration 15s # fork one OS process per member
+//
+// Spawn mode is the real-deployment shape: N OS processes share nothing but
+// the topology file and the sockets between them. It can also exercise
+// crash-recovery durability with -kill id@t (repeatable): at t the launcher
+// SIGKILLs member id's process — no shutdown hooks, exactly like a machine
+// loss — and re-execs it. With a journal_dir in the topology the replacement
+// process restores its protocol state from the on-disk journal (counted as a
+// restore, not a fallback, in its REPORT line).
+//
+// The topology file:
+//
+//	{
+//	  "n": 5,
+//	  "addrs": ["127.0.0.1:7701", "...", "..."],   // one per member, in id order
+//	  "algorithm": "fig3",                         // optional, default fig3
+//	  "resilience": 2,                             // optional, default N/2-ish (star default)
+//	  "seed": 1,                                   // optional
+//	  "loss": 0.0,                                 // optional outbound frame-loss probability
+//	  "journal_dir": "/var/run/starnet",           // optional: durable recovery journals
+//	  "snapshot_every": "500ms"                    // optional journal cadence
+//	}
+//
+// Each member process prints STATUS lines while running and one final
+// machine-parseable REPORT line; the launcher prefixes child output with the
+// member id, aggregates the REPORT lines and prints a final CLUSTER verdict
+// (exit status 1 if the hosted members did not end in agreement).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/star"
+)
+
+// topology is the shared cluster description every member process loads.
+type topology struct {
+	N             int      `json:"n"`
+	Addrs         []string `json:"addrs"`
+	Algorithm     string   `json:"algorithm"`
+	Resilience    int      `json:"resilience"`
+	Seed          uint64   `json:"seed"`
+	Loss          float64  `json:"loss"`
+	JournalDir    string   `json:"journal_dir"`
+	SnapshotEvery string   `json:"snapshot_every"`
+}
+
+func loadTopology(path string) (*topology, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t topology
+	if err := json.Unmarshal(raw, &t); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if t.N < 2 {
+		return nil, fmt.Errorf("%s: n=%d, want >= 2", path, t.N)
+	}
+	if len(t.Addrs) != t.N {
+		return nil, fmt.Errorf("%s: %d addrs for n=%d", path, len(t.Addrs), t.N)
+	}
+	return &t, nil
+}
+
+// snapshotEvery parses the topology's journal cadence (default 500ms: fast
+// enough that a member killed a few seconds in has state to restore).
+func (t *topology) snapshotEvery() (time.Duration, error) {
+	if t.SnapshotEvery == "" {
+		return 500 * time.Millisecond, nil
+	}
+	return time.ParseDuration(t.SnapshotEvery)
+}
+
+// kill is one -kill id@time launcher schedule entry.
+type kill struct {
+	id int
+	at time.Duration
+}
+
+// killList implements flag.Value for repeated -kill id@time flags.
+type killList []kill
+
+func (k *killList) String() string {
+	var parts []string
+	for _, e := range *k {
+		parts = append(parts, fmt.Sprintf("%d@%v", e.id, e.at))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (k *killList) Set(s string) error {
+	id, at, ok := strings.Cut(s, "@")
+	if !ok {
+		return fmt.Errorf("want id@duration, e.g. 2@3s, got %q", s)
+	}
+	pid, err := strconv.Atoi(id)
+	if err != nil {
+		return fmt.Errorf("bad member id %q: %w", id, err)
+	}
+	d, err := time.ParseDuration(at)
+	if err != nil {
+		return fmt.Errorf("bad kill time %q: %w", at, err)
+	}
+	*k = append(*k, kill{id: pid, at: d})
+	return nil
+}
+
+func main() {
+	var (
+		topoPath     = flag.String("topo", "", "path to the shared JSON topology file (required)")
+		member       = flag.Int("member", -1, "host only this member id (default: all members)")
+		spawn        = flag.Bool("spawn", false, "launcher mode: fork one OS process per member")
+		duration     = flag.Duration("duration", 15*time.Second, "run length")
+		until        = flag.Int64("until", 0, "absolute deadline, unix milliseconds (overrides -duration; set by the launcher so re-exec'd members finish with the rest)")
+		restartDelay = flag.Duration("restart-delay", 500*time.Millisecond, "spawn mode: pause between SIGKILL and re-exec")
+		kills        killList
+	)
+	flag.Var(&kills, "kill", "spawn mode: SIGKILL member id's process at time t and re-exec it, as id@t (repeatable)")
+	flag.Parse()
+
+	if *topoPath == "" {
+		fatal(fmt.Errorf("-topo is required"))
+	}
+	topo, err := loadTopology(*topoPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	deadline := time.Now().Add(*duration)
+	if *until != 0 {
+		deadline = time.UnixMilli(*until)
+	}
+
+	if *spawn {
+		if *member >= 0 {
+			fatal(fmt.Errorf("-spawn and -member are mutually exclusive"))
+		}
+		os.Exit(runLauncher(topo, *topoPath, deadline, kills, *restartDelay))
+	}
+	if len(kills) != 0 {
+		fatal(fmt.Errorf("-kill needs -spawn"))
+	}
+	if err := runMember(topo, *member, deadline); err != nil {
+		fatal(err)
+	}
+}
+
+// runMember hosts one member (or, with member < 0, all of them) until the
+// deadline, then prints the REPORT line.
+func runMember(topo *topology, member int, deadline time.Time) error {
+	if member >= topo.N {
+		return fmt.Errorf("member %d out of range for n=%d", member, topo.N)
+	}
+	var netOpts []star.NetworkOption
+	if member >= 0 {
+		netOpts = append(netOpts, star.HostMembers(member))
+	}
+	if topo.Loss > 0 {
+		policy := star.NewLinkPolicy(topo.Seed + uint64(member+1))
+		policy.SetLoss(topo.Loss)
+		netOpts = append(netOpts, star.WithLinkPolicy(policy))
+	}
+	opts := []star.Option{
+		star.N(topo.N),
+		star.Seed(topo.Seed),
+		star.Network(topo.Addrs, netOpts...),
+	}
+	if topo.Resilience > 0 {
+		opts = append(opts, star.Resilience(topo.Resilience))
+	}
+	if topo.Algorithm != "" {
+		alg, err := star.ParseAlgorithm(topo.Algorithm)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, star.Algorithm(alg))
+	}
+	if topo.JournalDir != "" {
+		if err := os.MkdirAll(topo.JournalDir, 0o755); err != nil {
+			return err
+		}
+		name := "cluster.journal"
+		if member >= 0 {
+			name = fmt.Sprintf("member-%d.journal", member)
+		}
+		rs, err := star.FileJournal(filepath.Join(topo.JournalDir, name))
+		if err != nil {
+			return err
+		}
+		every, err := topo.snapshotEvery()
+		if err != nil {
+			return err
+		}
+		opts = append(opts, star.WithRecovery(rs), star.SnapshotEvery(every))
+	}
+
+	c, err := star.New(opts...)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	start := time.Now()
+	lastStatus := start
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			break
+		}
+		slice := 500 * time.Millisecond
+		if remaining < slice {
+			slice = remaining
+		}
+		if err := c.Run(slice); err != nil {
+			return err
+		}
+		if time.Since(lastStatus) >= time.Second {
+			lastStatus = time.Now()
+			fmt.Printf("STATUS t=%v leaders=%v\n", time.Since(start).Round(100*time.Millisecond), c.Leaders())
+		}
+	}
+
+	rep := c.Report()
+	leader, agreed := c.Agreement()
+	fmt.Printf("REPORT member=%d leader=%d agreed=%v restores=%d fallbacks=%d snapshots=%d sent=%d delivered=%d dropped=%d bytes=%d\n",
+		member, leader, agreed,
+		rep.Recovery.Restores, rep.Recovery.Fallbacks, rep.Recovery.Snapshots,
+		rep.Net.Sent, rep.Net.Delivered, rep.Net.Dropped, rep.Net.Bytes)
+	return nil
+}
+
+// childReport is one member process's parsed final REPORT line.
+type childReport struct {
+	leader    int
+	agreed    bool
+	restores  uint64
+	fallbacks uint64
+}
+
+// launcher forks and supervises the member processes.
+type launcher struct {
+	topoPath     string
+	deadline     time.Time
+	restartDelay time.Duration
+
+	mu      sync.Mutex
+	procs   map[int]*exec.Cmd   // live child handle per member
+	reports map[int]childReport // latest REPORT per member
+	killed  map[int]int         // intentional SIGKILLs not yet consumed by a re-exec
+	failed  bool                // some child exited abnormally (not by our kill)
+}
+
+// runLauncher is spawn mode: one OS process per member, kill-schedule
+// execution, REPORT aggregation. Returns the process exit status.
+func runLauncher(topo *topology, topoPath string, deadline time.Time, kills killList, restartDelay time.Duration) int {
+	for _, a := range topo.Addrs {
+		if strings.HasSuffix(a, ":0") {
+			fatal(fmt.Errorf("spawn mode needs explicit ports, got %q (members in other processes must know where to dial)", a))
+		}
+	}
+	for _, k := range kills {
+		if k.id < 0 || k.id >= topo.N {
+			fatal(fmt.Errorf("-kill member %d out of range for n=%d", k.id, topo.N))
+		}
+	}
+	l := &launcher{
+		topoPath:     topoPath,
+		deadline:     deadline,
+		restartDelay: restartDelay,
+		procs:        make(map[int]*exec.Cmd),
+		reports:      make(map[int]childReport),
+		killed:       make(map[int]int),
+	}
+
+	var timers []*time.Timer
+	for _, k := range kills {
+		k := k
+		timers = append(timers, time.AfterFunc(k.at, func() { l.kill(k.id) }))
+	}
+	var wg sync.WaitGroup
+	for id := 0; id < topo.N; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			l.superviseMember(id)
+		}(id)
+	}
+	wg.Wait()
+	for _, t := range timers {
+		t.Stop()
+	}
+
+	// Aggregate: the cluster agrees when every member's final REPORT names
+	// the same leader and none was still undecided.
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	agreed := !l.failed && len(l.reports) == topo.N
+	leader := -1
+	var restores, fallbacks uint64
+	for id := 0; id < topo.N; id++ {
+		r, ok := l.reports[id]
+		if !ok {
+			fmt.Printf("launcher: member %d produced no REPORT\n", id)
+			agreed = false
+			continue
+		}
+		restores += r.restores
+		fallbacks += r.fallbacks
+		if !r.agreed {
+			agreed = false
+			continue
+		}
+		if leader == -1 {
+			leader = r.leader
+		} else if r.leader != leader {
+			agreed = false
+		}
+	}
+	if leader < 0 {
+		agreed = false
+	}
+	fmt.Printf("CLUSTER agreed=%v leader=%d restores=%d fallbacks=%d\n", agreed, leader, restores, fallbacks)
+	if !agreed {
+		return 1
+	}
+	return 0
+}
+
+// superviseMember runs member id's process, re-execing it after each
+// intentional SIGKILL until the deadline passes.
+func (l *launcher) superviseMember(id int) {
+	for {
+		cmd := exec.Command(os.Args[0],
+			"-topo", l.topoPath,
+			"-member", strconv.Itoa(id),
+			"-until", strconv.FormatInt(l.deadline.UnixMilli(), 10))
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			fmt.Printf("launcher: member %d: %v\n", id, err)
+			l.mu.Lock()
+			l.failed = true
+			l.mu.Unlock()
+			return
+		}
+		if err := cmd.Start(); err != nil {
+			fmt.Printf("launcher: member %d: %v\n", id, err)
+			l.mu.Lock()
+			l.failed = true
+			l.mu.Unlock()
+			return
+		}
+		l.mu.Lock()
+		l.procs[id] = cmd
+		l.mu.Unlock()
+
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Printf("[m%d] %s\n", id, line)
+			if rep, ok := parseReport(line); ok {
+				l.mu.Lock()
+				l.reports[id] = rep
+				l.mu.Unlock()
+			}
+		}
+		err = cmd.Wait()
+
+		l.mu.Lock()
+		delete(l.procs, id)
+		wasKilled := l.killed[id] > 0
+		if wasKilled {
+			l.killed[id]--
+		} else if err != nil {
+			fmt.Printf("launcher: member %d exited: %v\n", id, err)
+			l.failed = true
+		}
+		l.mu.Unlock()
+
+		// Re-exec after an intentional kill (the machine "comes back");
+		// anything else — clean finish or a real failure — ends supervision.
+		if !wasKilled || time.Until(l.deadline) <= l.restartDelay {
+			return
+		}
+		time.Sleep(l.restartDelay)
+	}
+}
+
+// kill SIGKILLs member id's current process: no shutdown path runs, exactly
+// like pulling the machine's plug mid-protocol.
+func (l *launcher) kill(id int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cmd := l.procs[id]
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	l.killed[id]++
+	fmt.Printf("launcher: SIGKILL member %d (pid %d)\n", id, cmd.Process.Pid)
+	if err := cmd.Process.Kill(); err != nil {
+		fmt.Printf("launcher: kill member %d: %v\n", id, err)
+		l.killed[id]--
+	}
+}
+
+// parseReport extracts a member's REPORT line fields.
+func parseReport(line string) (childReport, bool) {
+	if !strings.HasPrefix(line, "REPORT ") {
+		return childReport{}, false
+	}
+	var rep childReport
+	for _, f := range strings.Fields(line)[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			continue
+		}
+		switch k {
+		case "leader":
+			rep.leader, _ = strconv.Atoi(v)
+		case "agreed":
+			rep.agreed = v == "true"
+		case "restores":
+			rep.restores, _ = strconv.ParseUint(v, 10, 64)
+		case "fallbacks":
+			rep.fallbacks, _ = strconv.ParseUint(v, 10, 64)
+		}
+	}
+	return rep, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "starnet:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMain doubles the test binary as the starnet binary (the standard
+// helper-process pattern): when STARNET_CHILD is set the process runs
+// starnet's real main instead of the tests, so the launcher's re-exec of
+// os.Args[0] spawns genuine member processes.
+func TestMain(m *testing.M) {
+	if os.Getenv("STARNET_CHILD") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// writeTopology reserves explicit loopback ports and writes the shared
+// topology file the member processes load.
+func writeTopology(t *testing.T, dir string, n int, journal bool) string {
+	t.Helper()
+	topo := topology{
+		N:             n,
+		Addrs:         make([]string, n),
+		Algorithm:     "fig3",
+		Seed:          1,
+		SnapshotEvery: "300ms",
+	}
+	for i := range topo.Addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo.Addrs[i] = l.Addr().String()
+		defer l.Close()
+	}
+	if journal {
+		topo.JournalDir = filepath.Join(dir, "journals")
+	}
+	raw, err := json.Marshal(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "topo.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// starnet re-runs the test binary as the starnet binary.
+func starnet(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "STARNET_CHILD=1")
+	return cmd
+}
+
+// TestAllLocalMode: the single-process multi-listener cluster elects a
+// leader over real sockets and reports agreement.
+func TestAllLocalMode(t *testing.T) {
+	topoPath := writeTopology(t, t.TempDir(), 3, false)
+	out, err := starnet(t, "-topo", topoPath, "-duration", "8s").CombinedOutput()
+	if err != nil {
+		t.Fatalf("starnet: %v\n%s", err, out)
+	}
+	rep := finalReport(t, string(out))
+	if !rep.agreed {
+		t.Fatalf("no agreement:\n%s", out)
+	}
+}
+
+// TestSpawnKillRestore is the full deployment shape: five OS processes
+// sharing only a topology file, real TCP between them, one member
+// SIGKILLed mid-run (no shutdown path, like a machine loss) and re-exec'd
+// by the launcher. The cluster must end in agreement and the replacement
+// process must RESTORE its state from the on-disk journal — the restore,
+// not the fresh-start fallback, is what the kill is testing.
+func TestSpawnKillRestore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e")
+	}
+	topoPath := writeTopology(t, t.TempDir(), 5, true)
+	cmd := starnet(t,
+		"-topo", topoPath, "-spawn",
+		"-duration", "14s",
+		"-kill", "0@4s",
+		"-restart-delay", "500ms")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("starnet -spawn: %v\n%s", err, out)
+	}
+	text := string(out)
+	cluster := clusterLine(t, text)
+	if !strings.Contains(cluster, "agreed=true") {
+		t.Fatalf("cluster did not agree: %s\n%s", cluster, text)
+	}
+	if !strings.Contains(text, "SIGKILL member 0") {
+		t.Fatalf("kill schedule did not run:\n%s", text)
+	}
+	var restores, fallbacks uint64
+	if _, err := fmt.Sscanf(afterKey(cluster, "restores="), "%d", &restores); err != nil {
+		t.Fatalf("parsing %q: %v", cluster, err)
+	}
+	if _, err := fmt.Sscanf(afterKey(cluster, "fallbacks="), "%d", &fallbacks); err != nil {
+		t.Fatalf("parsing %q: %v", cluster, err)
+	}
+	if restores < 1 {
+		t.Fatalf("SIGKILL + re-exec counted no journal restores (fallbacks=%d):\n%s", fallbacks, text)
+	}
+}
+
+// finalReport parses the last REPORT line of a member's output.
+func finalReport(t *testing.T, out string) childReport {
+	t.Helper()
+	var rep childReport
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if r, ok := parseReport(strings.TrimSpace(line)); ok {
+			rep, found = r, true
+		}
+	}
+	if !found {
+		t.Fatalf("no REPORT line in output:\n%s", out)
+	}
+	return rep
+}
+
+// clusterLine returns the launcher's final CLUSTER verdict line.
+func clusterLine(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "CLUSTER ") {
+			return line
+		}
+	}
+	t.Fatalf("no CLUSTER line in output:\n%s", out)
+	return ""
+}
+
+// afterKey returns the text following key in s (to end of field).
+func afterKey(s, key string) string {
+	i := strings.Index(s, key)
+	if i < 0 {
+		return ""
+	}
+	rest := s[i+len(key):]
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		rest = rest[:j]
+	}
+	return rest
+}

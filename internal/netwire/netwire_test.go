@@ -1,0 +1,293 @@
+package netwire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/wire"
+)
+
+// randMessage builds a random instance of every wire kind. n is the cluster
+// size used for sized payloads.
+func randMessage(rng *rand.Rand, kind wire.Kind, n int) wire.Message {
+	i64 := func() int64 { return rng.Int63() - rng.Int63() }
+	ballot := func() wire.Ballot {
+		return wire.Ballot{Counter: rng.Int63n(1 << 30), Proposer: int32(rng.Intn(n))}
+	}
+	switch kind {
+	case wire.KindAlive:
+		v := &wire.Alive{RN: i64(), SuspLevel: make([]int64, n)}
+		for i := range v.SuspLevel {
+			v.SuspLevel[i] = i64()
+		}
+		return v
+	case wire.KindSuspicion:
+		v := &wire.Suspicion{RN: i64(), Suspects: bitset.New(n)}
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				v.Suspects.Add(i)
+			}
+		}
+		return v
+	case wire.KindHeartbeat:
+		return &wire.Heartbeat{Seq: i64()}
+	case wire.KindAccusation:
+		return &wire.Accusation{Target: int32(rng.Intn(n)), Epoch: i64()}
+	case wire.KindQuery:
+		return &wire.Query{Seq: i64()}
+	case wire.KindResponse:
+		v := &wire.Response{Seq: i64(), Counters: make([]int64, n)}
+		for i := range v.Counters {
+			v.Counters[i] = i64()
+		}
+		return v
+	case wire.KindPrepare:
+		return &wire.Prepare{Instance: i64(), Ballot: ballot()}
+	case wire.KindPromise:
+		return &wire.Promise{Instance: i64(), Ballot: ballot(), AcceptedAt: ballot(),
+			Value: i64(), HasValue: rng.Intn(2) == 0, NACK: rng.Intn(2) == 0}
+	case wire.KindAccept:
+		return &wire.Accept{Instance: i64(), Ballot: ballot(), Value: i64()}
+	case wire.KindAccepted:
+		return &wire.Accepted{Instance: i64(), Ballot: ballot(), NACK: rng.Intn(2) == 0}
+	case wire.KindDecide:
+		return &wire.Decide{Instance: i64(), Value: i64()}
+	case wire.KindMux:
+		inner := randMessage(rng, innerKinds[rng.Intn(len(innerKinds))], n)
+		return &wire.Mux{Lane: uint8(rng.Intn(3)), Inner: inner}
+	case wire.KindABCast:
+		return &wire.ABCast{Sender: int32(rng.Intn(n)), LocalID: i64(), Payload: i64()}
+	}
+	panic(fmt.Sprintf("unhandled kind %v", kind))
+}
+
+// innerKinds are the kinds a Mux envelope wraps in practice (never another
+// Mux — the decoder rejects nesting).
+var innerKinds = []wire.Kind{
+	wire.KindAlive, wire.KindSuspicion, wire.KindHeartbeat, wire.KindPrepare,
+	wire.KindPromise, wire.KindAccept, wire.KindAccepted, wire.KindDecide,
+	wire.KindABCast,
+}
+
+func allKinds() []wire.Kind {
+	var out []wire.Kind
+	for k := wire.Kind(1); k < wire.KindCount; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestRoundTripAllKinds: every wire kind survives encode -> frame read ->
+// pooled decode, across cluster sizes spanning bitset word boundaries; the
+// canonical-bytes comparison (re-encode the decoded message) catches field
+// mix-ups that a per-field comparison might miss, and the frame length must
+// equal Size() + FrameOverhead so transports can account bytes without
+// encoding twice.
+func TestRoundTripAllKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pools := &Pools{}
+	for _, n := range []int{1, 3, 5, 13, 64, 65, 128, 200} {
+		for _, kind := range allKinds() {
+			for rep := 0; rep < 20; rep++ {
+				msg := randMessage(rng, kind, n)
+				frame, err := AppendFrame(nil, msg)
+				if err != nil {
+					t.Fatalf("n=%d %v: encode: %v", n, kind, err)
+				}
+				if got, want := len(frame), msg.Size()+FrameOverhead; got != want {
+					t.Fatalf("n=%d %v: frame length %d, want Size()+%d = %d",
+						n, kind, got, FrameOverhead, want)
+				}
+				body, err := ReadFrame(bytes.NewReader(frame), nil)
+				if err != nil {
+					t.Fatalf("n=%d %v: read: %v", n, kind, err)
+				}
+				dec, err := pools.Decode(body)
+				if err != nil {
+					t.Fatalf("n=%d %v: decode: %v", n, kind, err)
+				}
+				re, err := AppendFrame(nil, dec)
+				if err != nil {
+					t.Fatalf("n=%d %v: re-encode: %v", n, kind, err)
+				}
+				if !bytes.Equal(frame, re) {
+					t.Fatalf("n=%d %v: round trip changed bytes\n in: %x\nout: %x", n, kind, frame, re)
+				}
+				recycleAll(dec)
+			}
+		}
+	}
+}
+
+// recycleAll returns a decoded message to its pool (transports do this after
+// the delivery callback).
+func recycleAll(m wire.Message) {
+	if rc, ok := m.(wire.Recyclable); ok {
+		rc.Retain()
+		rc.Recycle()
+	}
+}
+
+// TestPooledDecodeReuses: decoding the same kind twice through one Pools
+// value (with recycling between) must hand back the same payload object —
+// the zero-copy contract.
+func TestPooledDecodeReuses(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pools := &Pools{}
+	msg := randMessage(rng, wire.KindAlive, 7)
+	frame, _ := AppendFrame(nil, msg)
+
+	first, err := pools.Decode(frame[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstPtr := first.(*wire.Alive)
+	recycleAll(first)
+	second, err := pools.Decode(frame[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.(*wire.Alive) != firstPtr {
+		t.Fatal("recycled Alive was not reused by the next decode")
+	}
+}
+
+// TestHelloRoundTrip: the handshake frame carries (from, n) and rejects
+// corruption.
+func TestHelloRoundTrip(t *testing.T) {
+	buf := AppendHello(nil, 3, 9)
+	body, err := ReadFrame(bytes.NewReader(buf), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, n, err := ParseHello(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != 3 || n != 9 {
+		t.Fatalf("hello = (%d, %d), want (3, 9)", from, n)
+	}
+	// A protocol frame is not a hello.
+	pf, _ := AppendFrame(nil, &wire.Heartbeat{Seq: 1})
+	if _, _, err := ParseHello(pf[4:]); err == nil {
+		t.Fatal("protocol frame accepted as hello")
+	}
+	// Bad magic.
+	bad := AppendHello(nil, 0, 3)
+	bad[6] ^= 0xff
+	if _, _, err := ParseHello(bad[4:]); err == nil {
+		t.Fatal("corrupt magic accepted")
+	}
+}
+
+// TestDecodeRejects: malformed frames fail with ErrFrame (or ErrVersion),
+// never panic, and never decode to a message.
+func TestDecodeRejects(t *testing.T) {
+	pools := &Pools{}
+	good, _ := AppendFrame(nil, &wire.Decide{Instance: 1, Value: 2})
+	body := good[4:]
+
+	cases := map[string][]byte{
+		"empty":          {},
+		"version only":   {Version},
+		"wrong version":  append([]byte{Version + 1}, body[1:]...),
+		"unknown kind":   {Version, 0xEE, 1, 2, 3},
+		"hello as frame": {Version, helloKind, 's', 't', 'a', 'r', 0, 0, 0, 1, 0, 0, 0, 3},
+		"truncated":      body[:len(body)-3],
+		"trailing":       append(append([]byte{}, body...), 0xAA),
+	}
+	for name, frame := range cases {
+		if m, err := pools.Decode(frame); err == nil {
+			t.Errorf("%s: decoded %v, want error", name, m)
+		} else if !errors.Is(err, ErrFrame) && !errors.Is(err, ErrVersion) {
+			t.Errorf("%s: error %v is neither ErrFrame nor ErrVersion", name, err)
+		}
+	}
+
+	// Oversized counts must be rejected BEFORE sizing a payload by them.
+	alive := []byte{Version, byte(wire.KindAlive)}
+	alive = binary.BigEndian.AppendUint64(alive, 1)
+	alive = binary.BigEndian.AppendUint16(alive, 0xFFFF) // claims 65535 levels, has none
+	if _, err := pools.Decode(alive); !errors.Is(err, ErrFrame) {
+		t.Errorf("oversized Alive count: %v, want ErrFrame", err)
+	}
+	susp := []byte{Version, byte(wire.KindSuspicion)}
+	susp = binary.BigEndian.AppendUint64(susp, 1)
+	susp = binary.BigEndian.AppendUint16(susp, 0xFFFF)
+	if _, err := pools.Decode(susp); !errors.Is(err, ErrFrame) {
+		t.Errorf("oversized Suspicion universe: %v, want ErrFrame", err)
+	}
+
+	// Nested Mux is a decoder DoS vector; reject it outright.
+	inner, _ := AppendFrame(nil, &wire.Mux{Lane: 0, Inner: &wire.Heartbeat{Seq: 1}})
+	nested := []byte{Version, byte(wire.KindMux), 0}
+	nested = append(nested, inner[5:]...) // inner [kind][body]
+	if _, err := pools.Decode(nested); !errors.Is(err, ErrFrame) {
+		t.Errorf("nested mux: %v, want ErrFrame", err)
+	}
+}
+
+// TestReadFrameRejects: the stream reader bounds the length prefix and
+// reports truncation.
+func TestReadFrameRejects(t *testing.T) {
+	// Oversized length prefix: rejected before allocating.
+	var huge [4]byte
+	binary.BigEndian.PutUint32(huge[:], MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(huge[:]), nil); !errors.Is(err, ErrFrame) {
+		t.Errorf("oversized length: %v, want ErrFrame", err)
+	}
+	// Undersized length (cannot hold version+kind).
+	binary.BigEndian.PutUint32(huge[:], 1)
+	if _, err := ReadFrame(bytes.NewReader(append(huge[:], 0)), nil); !errors.Is(err, ErrFrame) {
+		t.Errorf("undersized length: %v, want ErrFrame", err)
+	}
+	// Truncated body.
+	frame, _ := AppendFrame(nil, &wire.Heartbeat{Seq: 7})
+	if _, err := ReadFrame(bytes.NewReader(frame[:len(frame)-2]), nil); !errors.Is(err, ErrFrame) {
+		t.Errorf("truncated body: %v, want ErrFrame", err)
+	}
+}
+
+// TestStreamedFrames: many frames back to back on one stream decode in
+// order with a single reused read buffer — the transport's read loop.
+func TestStreamedFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var stream bytes.Buffer
+	var sent []wire.Message
+	var encBuf []byte
+	for i := 0; i < 200; i++ {
+		kind := allKinds()[rng.Intn(int(wire.KindCount-1))]
+		m := randMessage(rng, kind, 9)
+		sent = append(sent, m)
+		var err error
+		encBuf, err = AppendFrame(encBuf[:0], m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Write(encBuf)
+	}
+	pools := &Pools{}
+	var readBuf []byte
+	for i, want := range sent {
+		var err error
+		readBuf, err = ReadFrame(&stream, readBuf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got, err := pools.Decode(readBuf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		wantBytes, _ := AppendFrame(nil, want)
+		gotBytes, _ := AppendFrame(nil, got)
+		if !bytes.Equal(wantBytes, gotBytes) {
+			t.Fatalf("frame %d (%v) changed in flight", i, want.Kind())
+		}
+		recycleAll(got)
+	}
+}

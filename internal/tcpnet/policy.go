@@ -1,0 +1,121 @@
+package tcpnet
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// Policy decides, per directed link and per frame, whether a transmission
+// crosses and how long it is held back first. It is the socket-layer
+// analogue of the simulator's delay policies: the paper's intermittent
+// connectivity (lossy links, one-way partitions, jitter) injected into a
+// real TCP cluster. Admit and Delay are called on the sender's side, on the
+// sending process's callback goroutine (and, for delayed frames, from timer
+// goroutines), so implementations must be safe for concurrent use.
+//
+// A refused frame is counted as Dropped in the cluster's Stats — exactly
+// like a frame addressed to a crashed process — and never reaches the
+// socket.
+type Policy interface {
+	// Admit reports whether a frame from -> to crosses the link.
+	Admit(from, to proc.ID) bool
+	// Delay returns how long to hold the frame before handing it to the
+	// link (0 for immediate). Delayed frames may reorder relative to later
+	// undelayed ones; the model's links are unordered, so protocols already
+	// tolerate this.
+	Delay(from, to proc.ID) time.Duration
+}
+
+// Faults is a mutable Policy covering the fault menu the paper's scenarios
+// need: uniform message loss, per-frame jitter, and one-way link cuts
+// (asymmetric partitions). All knobs can be turned while the cluster runs —
+// that is the point: inject, observe, heal. The zero value admits
+// everything instantly; use NewFaults for a seeded loss stream.
+type Faults struct {
+	mu   sync.Mutex
+	rng  *sim.Rand
+	loss float64
+	lo   time.Duration
+	hi   time.Duration
+	cuts map[[2]proc.ID]struct{}
+}
+
+// NewFaults returns a Faults whose loss decisions draw from a deterministic
+// stream seeded with seed. (The cluster around it is still real TCP — the
+// seed pins the loss pattern, not the run.)
+func NewFaults(seed uint64) *Faults {
+	return &Faults{rng: sim.NewRand(seed)}
+}
+
+// SetLoss sets the independent per-frame drop probability p in [0, 1].
+func (f *Faults) SetLoss(p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.loss = p
+}
+
+// SetJitter makes every admitted frame wait a uniform duration in [lo, hi]
+// before reaching the link. lo == hi == 0 disables jitter.
+func (f *Faults) SetJitter(lo, hi time.Duration) {
+	if hi < lo {
+		panic("tcpnet: SetJitter with hi < lo")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.lo, f.hi = lo, hi
+}
+
+// Cut severs the directed link from -> to: every frame in that direction is
+// dropped until Heal. Cutting one direction only is the paper's asymmetric
+// partition (to still hears nothing from from; from hears to fine).
+func (f *Faults) Cut(from, to proc.ID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cuts == nil {
+		f.cuts = make(map[[2]proc.ID]struct{})
+	}
+	f.cuts[[2]proc.ID{from, to}] = struct{}{}
+}
+
+// Heal restores the directed link from -> to.
+func (f *Faults) Heal(from, to proc.ID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.cuts, [2]proc.ID{from, to})
+}
+
+// HealAll removes every cut (loss and jitter are separate knobs).
+func (f *Faults) HealAll() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cuts = nil
+}
+
+// Admit implements Policy.
+func (f *Faults) Admit(from, to proc.ID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, cut := f.cuts[[2]proc.ID{from, to}]; cut {
+		return false
+	}
+	// A zero-value Faults has no stream to draw from; loss needs NewFaults.
+	if f.loss > 0 && f.rng != nil && f.rng.Bool(f.loss) {
+		return false
+	}
+	return true
+}
+
+// Delay implements Policy.
+func (f *Faults) Delay(from, to proc.ID) time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.hi == 0 || f.rng == nil {
+		return f.lo
+	}
+	return f.rng.Duration(f.lo, f.hi)
+}
+
+var _ Policy = (*Faults)(nil)

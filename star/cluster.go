@@ -159,7 +159,11 @@ func New(opts ...Option) (*Cluster, error) {
 		c.lastLeaders[i] = None
 	}
 
+	hoster, _ := cfg.transport.(memberHoster)
 	for id := 0; id < cfg.n; id++ {
+		if hoster != nil && !hoster.hostsMember(id) {
+			continue // a remote member; its own process builds it
+		}
 		if err := c.buildProcess(id, false); err != nil {
 			return nil, err
 		}
@@ -409,6 +413,11 @@ func (c *Cluster) collect(at time.Duration) {
 	defer c.mu.Unlock()
 	ls := check.LeaderSample{At: sim.Time(at), Leaders: make([]proc.ID, c.n)}
 	for id := 0; id < c.n; id++ {
+		if c.oracles[id] == nil { // remote member (network transport)
+			ls.Leaders[id] = proc.None
+			c.lastLeaders[id] = None
+			continue
+		}
 		if c.eng.crashed(id) {
 			ls.Leaders[id] = proc.None
 			c.lastLeaders[id] = None
@@ -453,7 +462,7 @@ func (c *Cluster) snapshotAll() {
 		return
 	}
 	for id := 0; id < c.n; id++ {
-		if c.eng.crashed(id) {
+		if c.snaps[id] == nil || c.eng.crashed(id) {
 			continue
 		}
 		c.eng.lock(id)
@@ -512,9 +521,10 @@ func (c *Cluster) Run(d time.Duration) error {
 }
 
 // Leader returns process id's current leader estimate, or None when the
-// process is crashed or id is out of range.
+// process is crashed, hosted by another process (network transport), or id
+// is out of range.
 func (c *Cluster) Leader(id int) int {
-	if id < 0 || id >= c.n || c.eng.crashed(id) {
+	if id < 0 || id >= c.n || c.oracles[id] == nil || c.eng.crashed(id) {
 		return None
 	}
 	c.eng.lock(id)
@@ -533,11 +543,13 @@ func (c *Cluster) Leaders() []int {
 }
 
 // Agreement reports whether all live processes currently name the same
-// live leader, and that leader.
+// live leader, and that leader. On a partial-topology network cluster only
+// the hosted members vote — each process can check agreement over its own
+// share; cluster-wide agreement is the launcher's to aggregate.
 func (c *Cluster) Agreement() (int, bool) {
 	leader := None
 	for id := 0; id < c.n; id++ {
-		if c.eng.crashed(id) {
+		if c.oracles[id] == nil || c.eng.crashed(id) {
 			continue
 		}
 		l := c.Leader(id)
@@ -554,9 +566,11 @@ func (c *Cluster) Agreement() (int, bool) {
 }
 
 // Crash crashes process id now (crash-stop: it stops sending, receiving
-// and firing timers).
+// and firing timers). On a partial-topology network cluster only hosted
+// members can be crashed from here; crash a remote member from its own
+// process.
 func (c *Cluster) Crash(id int) error {
-	if id < 0 || id >= c.n {
+	if id < 0 || id >= c.n || c.oracles[id] == nil {
 		return fmt.Errorf("%w: %d", ErrBadProcess, id)
 	}
 	c.eng.crash(id)
@@ -647,6 +661,9 @@ func (c *Cluster) Report() *Report {
 	rep.FinalLevels = make([][]int64, c.n)
 	for id := 0; id < c.n; id++ {
 		rep.LeaderAtEnd[id] = None
+		if c.oracles[id] == nil { // remote member (network transport)
+			continue
+		}
 		c.eng.lock(id)
 		isCore := false
 		if !c.eng.crashed(id) {

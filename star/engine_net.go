@@ -1,0 +1,256 @@
+package star
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/tcpnet"
+)
+
+// netEngine drives a cluster over the TCP transport (internal/tcpnet): real
+// listeners and sockets, wall-clock timers, frames through the netwire
+// codec. Structurally it is the live engine's twin — wall-clock sampler,
+// schedule timers for churn, snapshot ticker — with two differences: the
+// cluster may host only a subset of the members (the rest run in other
+// processes on the shared topology), and delays/loss come from the real
+// network plus the installed LinkPolicy rather than from a seeded DelayFunc.
+type netEngine struct {
+	c  *Cluster
+	tc *tcpnet.Cluster
+
+	start       time.Time
+	crashTimers []*time.Timer
+
+	stop     chan struct{}
+	done     chan struct{}
+	snapDone chan struct{}
+
+	mu             sync.Mutex
+	everCrashedSet []bool
+	closed         bool
+
+	// pending tracks schedule-timer callbacks that passed the closed check
+	// and are executing; close waits for them before tearing the transport
+	// down (time.Timer.Stop does not).
+	pending sync.WaitGroup
+}
+
+func (e *netEngine) beginScheduled() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
+	e.pending.Add(1)
+	return true
+}
+
+func newNetEngine(c *Cluster, t *netTransport) (*netEngine, error) {
+	p := c.sc.Params
+	if len(t.addrs) != p.N {
+		return nil, fmt.Errorf("%w: Network got %d addresses for N=%d", ErrInvalidParams, len(t.addrs), p.N)
+	}
+	tcfg := tcpnet.Config{N: p.N, Addrs: t.addrs, Local: t.local}
+	if t.policy != nil {
+		tcfg.Policy = t.policy.faults
+	}
+	tc, err := tcpnet.New(tcfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidParams, err)
+	}
+	e := &netEngine{
+		c:              c,
+		tc:             tc,
+		start:          time.Now(),
+		stop:           make(chan struct{}),
+		done:           make(chan struct{}),
+		everCrashedSet: make([]bool, p.N),
+	}
+	for id := 0; id < p.N; id++ {
+		if t.hostsMember(id) {
+			tc.Register(id, c.endpoints[id])
+		}
+	}
+	// Install the engine before anything concurrent (sampler, schedule
+	// timers) can observe the cluster through c.eng.
+	c.eng = e
+	if err := tc.Start(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidParams, err)
+	}
+
+	// The scenario's crash and churn schedules, on wall-clock timers —
+	// hosted members only: each process executes its own share of a
+	// cluster-wide schedule.
+	for _, cr := range c.sc.Crashes {
+		if !t.hostsMember(cr.ID) {
+			continue
+		}
+		id := cr.ID
+		e.crashTimers = append(e.crashTimers, time.AfterFunc(time.Duration(cr.At), func() {
+			if !e.beginScheduled() {
+				return
+			}
+			defer e.pending.Done()
+			e.crash(id)
+		}))
+	}
+	for _, r := range c.sc.Restarts {
+		if !t.hostsMember(r.ID) {
+			continue
+		}
+		id := r.ID
+		e.crashTimers = append(e.crashTimers, time.AfterFunc(time.Duration(r.At), func() {
+			if !e.beginScheduled() {
+				return
+			}
+			defer e.pending.Done()
+			e.restart(id)
+		}))
+	}
+
+	// The sampling goroutine: collect drives the same analysis pipeline as
+	// the other transports, over the hosted members.
+	go func() {
+		defer close(e.done)
+		t := time.NewTicker(c.cfg.sampleEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-e.stop:
+				return
+			case <-t.C:
+				c.collect(e.now())
+			}
+		}
+	}()
+
+	// The recovery-journal cadence (hosted members; each process journals
+	// its own share).
+	if c.cfg.recovery != nil {
+		e.snapDone = make(chan struct{})
+		go func() {
+			defer close(e.snapDone)
+			t := time.NewTicker(c.cfg.snapshotEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-e.stop:
+					return
+				case <-t.C:
+					c.snapshotAll()
+				}
+			}
+		}()
+	}
+	return e, nil
+}
+
+func (e *netEngine) capabilities() Capability { return netCapabilities }
+
+func (e *netEngine) run(d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-e.stop:
+		return ErrClosed
+	}
+}
+
+func (e *netEngine) now() time.Duration { return time.Since(e.start) }
+
+// lock/unlock serialize against a hosted member's callbacks; no-ops for
+// remote members (their state lives in another process).
+func (e *netEngine) lock(id int) {
+	if e.tc.IsLocal(id) {
+		e.tc.LockProcess(id)
+	}
+}
+
+func (e *netEngine) unlock(id int) {
+	if e.tc.IsLocal(id) {
+		e.tc.UnlockProcess(id)
+	}
+}
+
+// crash crashes a hosted member; crashing a remote member from here is a
+// no-op (do it from its own process).
+func (e *netEngine) crash(id int) {
+	if !e.tc.IsLocal(id) {
+		return
+	}
+	e.mu.Lock()
+	e.everCrashedSet[id] = true
+	e.mu.Unlock()
+	e.tc.Crash(id)
+	e.c.mu.Lock()
+	e.c.emit(Event{At: e.now(), Kind: EventCrash, Proc: id})
+	e.c.mu.Unlock()
+}
+
+// restart brings a churned hosted member back as a fresh incarnation, with
+// the cluster tables swapped while the transport holds the member's
+// callback lock (same discipline as the live engine).
+func (e *netEngine) restart(id int) {
+	if !e.tc.IsLocal(id) {
+		return
+	}
+	ok := e.tc.Restart(id, func() proc.Node {
+		if err := e.c.buildProcess(id, true); err != nil {
+			panic(fmt.Sprintf("star: rebuilding networked process %d: %v", id, err))
+		}
+		return e.c.endpoints[id]
+	})
+	if !ok {
+		return
+	}
+	e.c.mu.Lock()
+	if e.c.cfg.recovery != nil {
+		out := e.c.recOutcomes[id]
+		e.c.emit(Event{At: e.now(), Kind: EventRecovery, Proc: id, Round: out.round, Err: out.err})
+	}
+	e.c.emit(Event{At: e.now(), Kind: EventRestart, Proc: id})
+	e.c.mu.Unlock()
+}
+
+func (e *netEngine) crashed(id int) bool {
+	return e.tc.IsLocal(id) && e.tc.Crashed(id)
+}
+
+func (e *netEngine) everCrashed(id int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.everCrashedSet[id]
+}
+
+func (e *netEngine) events() uint64 { return 0 }
+
+// netStats converts the TCP transport's link taps; tcpnet.Stats mirrors
+// netsim.Stats field for field (bytes there count real framed bytes).
+func (e *netEngine) netStats() NetStats { return netStatsFromTCP(e.tc.Stats()) }
+
+func (e *netEngine) close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	for _, t := range e.crashTimers {
+		t.Stop()
+	}
+	e.pending.Wait()
+	close(e.stop)
+	<-e.done
+	if e.snapDone != nil {
+		<-e.snapDone
+	}
+	e.tc.Stop()
+	return nil
+}
+
+var _ engine = (*netEngine)(nil)

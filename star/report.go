@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/runtime"
+	"repro/internal/tcpnet"
 	"repro/internal/wire"
 )
 
@@ -124,6 +125,11 @@ type RecoveryStats struct {
 // netStatsFromRuntime converts the live transport's link-tap counters;
 // runtime.Stats mirrors netsim.Stats field for field.
 func netStatsFromRuntime(s runtime.Stats) NetStats { return netStatsFrom(netsim.Stats(s)) }
+
+// netStatsFromTCP converts the network transport's link taps; tcpnet.Stats
+// is the same mirror, except Bytes there count real framed bytes (payload
+// plus netwire frame overhead) rather than bare payload sizes.
+func netStatsFromTCP(s tcpnet.Stats) NetStats { return netStatsFrom(netsim.Stats(s)) }
 
 // netStatsFrom converts the internal counters to the public mirror.
 func netStatsFrom(s netsim.Stats) NetStats {

@@ -48,6 +48,17 @@ func TestQuickstartShape(t *testing.T) {
 	}
 }
 
+// allTransports returns one instance of every transport, suitable for
+// capability-driven suites. The network transport binds kernel-assigned
+// loopback ports, so each returned value is cheap until passed to New.
+func allTransports() []star.Transport {
+	return []star.Transport{
+		star.Simulated(),
+		star.Live(),
+		star.Network([]string{"127.0.0.1:0", "127.0.0.1:0", "127.0.0.1:0", "127.0.0.1:0"}),
+	}
+}
+
 // domainKey flattens a run's domain-visible outcome for determinism
 // comparisons.
 func domainKey(c *star.Cluster) string {
@@ -60,26 +71,36 @@ func domainKey(c *star.Cluster) string {
 }
 
 // TestSimDeterminism: same options, same seed => identical domain metrics
-// through the façade (the repository's core regression contract).
+// through the façade (the repository's core regression contract). The suite
+// runs against every transport and skips by DECLARED capability — not by
+// transport name — so a transport that gains or loses CapDeterminism is
+// covered or excused automatically.
 func TestSimDeterminism(t *testing.T) {
-	mk := func() string {
-		c, err := star.New(
-			star.N(5),
-			star.Scenario(star.Intermittent(star.Gap(3), star.CrashAt(3, 2*time.Second))),
-			star.Seed(99),
-		)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer c.Close()
-		if err := c.Run(5 * time.Second); err != nil {
-			t.Fatal(err)
-		}
-		return domainKey(c)
-	}
-	a, b := mk(), mk()
-	if a != b {
-		t.Fatalf("same seed diverged:\n run1: %s\n run2: %s", a, b)
+	for _, tr := range allTransports() {
+		t.Run(tr.String(), func(t *testing.T) {
+			if !tr.Capabilities().Has(star.CapDeterminism) {
+				t.Skipf("transport %q does not declare Determinism", tr)
+			}
+			mk := func() string {
+				c, err := star.New(
+					star.N(5), tr,
+					star.Scenario(star.Intermittent(star.Gap(3), star.CrashAt(3, 2*time.Second))),
+					star.Seed(99),
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer c.Close()
+				if err := c.Run(5 * time.Second); err != nil {
+					t.Fatal(err)
+				}
+				return domainKey(c)
+			}
+			a, b := mk(), mk()
+			if a != b {
+				t.Fatalf("same seed diverged:\n run1: %s\n run2: %s", a, b)
+			}
+		})
 	}
 }
 
@@ -197,7 +218,7 @@ func TestCapabilityMatrix(t *testing.T) {
 		{"checkspread", star.CheckSpread(), star.CapSpreadCheck, "SpreadCheck"},
 		{"maxevents", star.MaxEvents(1_000_000), star.CapEventBudget, "EventBudget"},
 	}
-	for _, tr := range []star.Transport{star.Simulated(), star.Live()} {
+	for _, tr := range allTransports() {
 		for _, g := range gated {
 			t.Run(tr.String()+"/"+g.name, func(t *testing.T) {
 				c, err := star.New(star.N(4), tr, g.opt)
@@ -231,6 +252,13 @@ func TestCapabilityMatrix(t *testing.T) {
 	}
 	if live.Has(star.CapDeterminism) || live.Has(star.CapEventBudget) {
 		t.Errorf("live transport over-declares: %v", live)
+	}
+	netc := star.Network(nil).Capabilities()
+	if !netc.Has(star.CapNetStats | star.CapChurn | star.CapRecovery) {
+		t.Errorf("network transport capabilities = %v, want NetStats|Churn|Recovery", netc)
+	}
+	if netc.Has(star.CapDeterminism) || netc.Has(star.CapEventBudget) || netc.Has(star.CapSpreadCheck) {
+		t.Errorf("network transport over-declares: %v", netc)
 	}
 }
 

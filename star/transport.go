@@ -60,11 +60,22 @@ func (c Capability) Has(want Capability) bool { return c&want == want }
 // transport does everything that does not require virtual time — it counts
 // traffic, executes churn on wall clocks and runs spread checks under the
 // per-process callback locks, but it cannot replay a schedule (goroutine
-// interleaving is real) or meter execution in simulator events.
+// interleaving is real) or meter execution in simulator events. The network
+// transport (Network) is the narrowest: real sockets rule out determinism
+// and event metering like the live transport, and a possibly multi-process
+// cluster additionally rules out the per-delivery spread hook (the check
+// needs a cluster-wide view no single process has).
 const (
 	simCapabilities  = CapNetStats | CapChurn | CapSpreadCheck | CapEventBudget | CapDeterminism | CapRecovery
 	liveCapabilities = CapNetStats | CapChurn | CapSpreadCheck | CapRecovery
+	netCapabilities  = CapNetStats | CapChurn | CapRecovery
 )
+
+// memberHoster is implemented by transports that may host only a subset of
+// the cluster's members in this process (the network transport). New builds
+// protocol stacks for hosted members only; the accessors report None/nil
+// for the rest (observe them from their own process).
+type memberHoster interface{ hostsMember(id int) bool }
 
 // Transport selects how a cluster executes: on the deterministic
 // discrete-event simulator or live on goroutines with wall-clock timers.
