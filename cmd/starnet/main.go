@@ -6,6 +6,14 @@
 //	starnet -topo t.json -member 2            # host member 2 only
 //	starnet -topo t.json -spawn -duration 15s # fork one OS process per member
 //
+// Any mode takes -chaos schedule.json: a fault timeline (star.WithChaos
+// schedule format — partitions, asymmetric cuts, loss/jitter/slow windows,
+// kill/restart steps) executed against the cluster while the continuous
+// invariant monitor checks re-election, agreement and delivery safety. Every
+// member process loads the same schedule and executes its share; the REPORT
+// line gains chaos_steps and chaos_violations fields, and any violation
+// fails the cluster verdict.
+//
 // Spawn mode is the real-deployment shape: N OS processes share nothing but
 // the topology file and the sockets between them. It can also exercise
 // crash-recovery durability with -kill id@t (repeatable): at t the launcher
@@ -130,6 +138,7 @@ func main() {
 		duration     = flag.Duration("duration", 15*time.Second, "run length")
 		until        = flag.Int64("until", 0, "absolute deadline, unix milliseconds (overrides -duration; set by the launcher so re-exec'd members finish with the rest)")
 		restartDelay = flag.Duration("restart-delay", 500*time.Millisecond, "spawn mode: pause between SIGKILL and re-exec")
+		chaosPath    = flag.String("chaos", "", "path to a chaos schedule JSON file (each member executes its share of the fault timeline)")
 		kills        killList
 	)
 	flag.Var(&kills, "kill", "spawn mode: SIGKILL member id's process at time t and re-exec it, as id@t (repeatable)")
@@ -152,19 +161,32 @@ func main() {
 		if *member >= 0 {
 			fatal(fmt.Errorf("-spawn and -member are mutually exclusive"))
 		}
-		os.Exit(runLauncher(topo, *topoPath, deadline, kills, *restartDelay))
+		os.Exit(runLauncher(topo, *topoPath, deadline, kills, *restartDelay, *chaosPath))
 	}
 	if len(kills) != 0 {
 		fatal(fmt.Errorf("-kill needs -spawn"))
 	}
-	if err := runMember(topo, *member, deadline); err != nil {
+	if err := runMember(topo, *member, deadline, *chaosPath); err != nil {
 		fatal(err)
 	}
 }
 
+// loadChaos reads and parses a -chaos schedule file.
+func loadChaos(path string) (*star.ChaosSchedule, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := star.ParseChaosSchedule(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cs, nil
+}
+
 // runMember hosts one member (or, with member < 0, all of them) until the
 // deadline, then prints the REPORT line.
-func runMember(topo *topology, member int, deadline time.Time) error {
+func runMember(topo *topology, member int, deadline time.Time, chaosPath string) error {
 	if member >= topo.N {
 		return fmt.Errorf("member %d out of range for n=%d", member, topo.N)
 	}
@@ -210,6 +232,13 @@ func runMember(topo *topology, member int, deadline time.Time) error {
 		}
 		opts = append(opts, star.WithRecovery(rs), star.SnapshotEvery(every))
 	}
+	if chaosPath != "" {
+		cs, err := loadChaos(chaosPath)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, star.WithChaos(cs))
+	}
 
 	c, err := star.New(opts...)
 	if err != nil {
@@ -239,24 +268,36 @@ func runMember(topo *topology, member int, deadline time.Time) error {
 
 	rep := c.Report()
 	leader, agreed := c.Agreement()
-	fmt.Printf("REPORT member=%d leader=%d agreed=%v restores=%d fallbacks=%d snapshots=%d sent=%d delivered=%d dropped=%d bytes=%d\n",
+	var chaosSteps int
+	var chaosViolations uint64
+	if rep.Chaos != nil {
+		chaosSteps = rep.Chaos.StepsApplied
+		chaosViolations = rep.Chaos.TotalViolations
+		for _, v := range rep.Chaos.Violations {
+			fmt.Printf("VIOLATION at=%v rule=%s detail=%q\n", v.At, v.Rule, v.Detail)
+		}
+	}
+	fmt.Printf("REPORT member=%d leader=%d agreed=%v restores=%d fallbacks=%d snapshots=%d sent=%d delivered=%d dropped=%d bytes=%d chaos_steps=%d chaos_violations=%d\n",
 		member, leader, agreed,
 		rep.Recovery.Restores, rep.Recovery.Fallbacks, rep.Recovery.Snapshots,
-		rep.Net.Sent, rep.Net.Delivered, rep.Net.Dropped, rep.Net.Bytes)
+		rep.Net.Sent, rep.Net.Delivered, rep.Net.Dropped, rep.Net.Bytes,
+		chaosSteps, chaosViolations)
 	return nil
 }
 
 // childReport is one member process's parsed final REPORT line.
 type childReport struct {
-	leader    int
-	agreed    bool
-	restores  uint64
-	fallbacks uint64
+	leader     int
+	agreed     bool
+	restores   uint64
+	fallbacks  uint64
+	violations uint64
 }
 
 // launcher forks and supervises the member processes.
 type launcher struct {
 	topoPath     string
+	chaosPath    string
 	deadline     time.Time
 	restartDelay time.Duration
 
@@ -269,7 +310,7 @@ type launcher struct {
 
 // runLauncher is spawn mode: one OS process per member, kill-schedule
 // execution, REPORT aggregation. Returns the process exit status.
-func runLauncher(topo *topology, topoPath string, deadline time.Time, kills killList, restartDelay time.Duration) int {
+func runLauncher(topo *topology, topoPath string, deadline time.Time, kills killList, restartDelay time.Duration, chaosPath string) int {
 	for _, a := range topo.Addrs {
 		if strings.HasSuffix(a, ":0") {
 			fatal(fmt.Errorf("spawn mode needs explicit ports, got %q (members in other processes must know where to dial)", a))
@@ -280,8 +321,16 @@ func runLauncher(topo *topology, topoPath string, deadline time.Time, kills kill
 			fatal(fmt.Errorf("-kill member %d out of range for n=%d", k.id, topo.N))
 		}
 	}
+	if chaosPath != "" {
+		// Fail on an unreadable or malformed schedule before forking N
+		// children that would each rediscover it.
+		if _, err := loadChaos(chaosPath); err != nil {
+			fatal(err)
+		}
+	}
 	l := &launcher{
 		topoPath:     topoPath,
+		chaosPath:    chaosPath,
 		deadline:     deadline,
 		restartDelay: restartDelay,
 		procs:        make(map[int]*exec.Cmd),
@@ -313,7 +362,7 @@ func runLauncher(topo *topology, topoPath string, deadline time.Time, kills kill
 	defer l.mu.Unlock()
 	agreed := !l.failed && len(l.reports) == topo.N
 	leader := -1
-	var restores, fallbacks uint64
+	var restores, fallbacks, violations uint64
 	for id := 0; id < topo.N; id++ {
 		r, ok := l.reports[id]
 		if !ok {
@@ -323,6 +372,7 @@ func runLauncher(topo *topology, topoPath string, deadline time.Time, kills kill
 		}
 		restores += r.restores
 		fallbacks += r.fallbacks
+		violations += r.violations
 		if !r.agreed {
 			agreed = false
 			continue
@@ -336,8 +386,9 @@ func runLauncher(topo *topology, topoPath string, deadline time.Time, kills kill
 	if leader < 0 {
 		agreed = false
 	}
-	fmt.Printf("CLUSTER agreed=%v leader=%d restores=%d fallbacks=%d\n", agreed, leader, restores, fallbacks)
-	if !agreed {
+	fmt.Printf("CLUSTER agreed=%v leader=%d restores=%d fallbacks=%d chaos_violations=%d\n",
+		agreed, leader, restores, fallbacks, violations)
+	if !agreed || violations != 0 {
 		return 1
 	}
 	return 0
@@ -347,10 +398,15 @@ func runLauncher(topo *topology, topoPath string, deadline time.Time, kills kill
 // intentional SIGKILL until the deadline passes.
 func (l *launcher) superviseMember(id int) {
 	for {
-		cmd := exec.Command(os.Args[0],
+		args := []string{
 			"-topo", l.topoPath,
 			"-member", strconv.Itoa(id),
-			"-until", strconv.FormatInt(l.deadline.UnixMilli(), 10))
+			"-until", strconv.FormatInt(l.deadline.UnixMilli(), 10),
+		}
+		if l.chaosPath != "" {
+			args = append(args, "-chaos", l.chaosPath)
+		}
+		cmd := exec.Command(os.Args[0], args...)
 		cmd.Stderr = os.Stderr
 		out, err := cmd.StdoutPipe()
 		if err != nil {
@@ -440,6 +496,8 @@ func parseReport(line string) (childReport, bool) {
 			rep.restores, _ = strconv.ParseUint(v, 10, 64)
 		case "fallbacks":
 			rep.fallbacks, _ = strconv.ParseUint(v, 10, 64)
+		case "chaos_violations":
+			rep.violations, _ = strconv.ParseUint(v, 10, 64)
 		}
 	}
 	return rep, true

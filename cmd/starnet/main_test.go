@@ -9,6 +9,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/star"
 )
 
 // TestMain doubles the test binary as the starnet binary (the standard
@@ -115,6 +118,52 @@ func TestSpawnKillRestore(t *testing.T) {
 	}
 	if restores < 1 {
 		t.Fatalf("SIGKILL + re-exec counted no journal restores (fallbacks=%d):\n%s", fallbacks, text)
+	}
+}
+
+// TestChaosScheduleSpawn runs a chaos schedule across real OS processes:
+// each member executes its share of a shared fault timeline (a healed
+// partition plus a loss window) while its invariant monitor watches. The
+// launcher must end agreed with zero violations — the CLUSTER verdict
+// hard-fails on any — and every member's REPORT must show the schedule
+// actually fired.
+func TestChaosScheduleSpawn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e")
+	}
+	dir := t.TempDir()
+	topoPath := writeTopology(t, dir, 3, false)
+	sched := star.NewChaosSchedule().
+		Partition(2*time.Second, []int{2}, []int{0, 1}).
+		Loss(3*time.Second, 0.2, time.Second).
+		HealAll(5 * time.Second)
+	raw, err := sched.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaosPath := filepath.Join(dir, "chaos.json")
+	if err := os.WriteFile(chaosPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := starnet(t,
+		"-topo", topoPath, "-spawn",
+		"-duration", "14s",
+		"-chaos", chaosPath)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("starnet -spawn -chaos: %v\n%s", err, out)
+	}
+	text := string(out)
+	cluster := clusterLine(t, text)
+	if !strings.Contains(cluster, "agreed=true") {
+		t.Fatalf("cluster did not agree after chaos: %s\n%s", cluster, text)
+	}
+	if !strings.Contains(cluster, "chaos_violations=0") {
+		t.Fatalf("chaos violations in cluster verdict: %s\n%s", cluster, text)
+	}
+	var steps int
+	if _, err := fmt.Sscanf(afterKey(text, "chaos_steps="), "%d", &steps); err != nil || steps < sched.Len() {
+		t.Fatalf("members did not run the schedule (steps=%d, want >=%d):\n%s", steps, sched.Len(), text)
 	}
 }
 

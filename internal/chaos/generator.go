@@ -1,0 +1,139 @@
+package chaos
+
+import (
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/sim"
+)
+
+// Sample draws a randomized chaos schedule from seed for an n-process
+// cluster that tolerates up to t concurrent crashes. The schedule composes
+// a minority partition (never isolating process 0, the intended star
+// center), an asymmetric cut, loss/jitter/slow-node windows, up to t
+// kill+restart pairs, and — when withJournal is set — a journal fault
+// window. Every fault is lifted by roughly 55% of horizon (the quiesce
+// point): cuts healed, windows expired, every kill restarted. The tail of
+// the horizon is quiet, so a run of length horizon plus the re-election
+// bound must end with an agreeing majority — that is what the soak asserts.
+//
+// Sample is a pure function of its arguments: the same (seed, n, t,
+// horizon, withJournal) always yields the same schedule, and the schedule's
+// JSON is the replay artifact a failing soak prints.
+func Sample(seed uint64, n, t int, horizon time.Duration, withJournal bool) Schedule {
+	rng := sim.NewRand(seed)
+	q := horizon * 11 / 20
+	within := func(loPct, hiPct int) time.Duration {
+		return rng.Duration(q*time.Duration(loPct)/100, q*time.Duration(hiPct)/100)
+	}
+	var steps []Step
+
+	// Minority partition: a random group of k <= (n-1)/2 non-center
+	// processes against the rest. The majority side keeps process 0 and a
+	// strict majority, so the agreement invariant stays checkable while the
+	// partition holds.
+	others := make([]int, 0, n-1)
+	for id := 1; id < n; id++ {
+		others = append(others, id)
+	}
+	if kMax := (n - 1) / 2; kMax >= 1 {
+		k := 1 + rng.Intn(kMax)
+		minority := rng.Subset(others, k)
+		rest := make([]int, 0, n-k)
+		inMinority := make(map[int]bool, k)
+		for _, id := range minority {
+			inMinority[id] = true
+		}
+		for id := 0; id < n; id++ {
+			if !inMinority[id] {
+				rest = append(rest, id)
+			}
+		}
+		steps = append(steps, Step{
+			At:     within(5, 25),
+			Kind:   StepPartition,
+			Groups: [][]int{minority, rest},
+		})
+	}
+
+	// One asymmetric cut (a -> b only), healed by the final heal-all.
+	if rng.Bool(0.7) && n >= 2 {
+		a := rng.Intn(n)
+		b := rng.Intn(n - 1)
+		if b >= a {
+			b++
+		}
+		steps = append(steps, Step{At: within(10, 40), Kind: StepCut, From: a, To: b})
+	}
+
+	// Noise windows: loss, jitter, a slow node. Each expires before the
+	// quiesce point.
+	if rng.Bool(0.7) {
+		at := within(5, 45)
+		steps = append(steps, Step{
+			At:     at,
+			Kind:   StepLoss,
+			Pct:    0.05 + 0.25*rng.Float64(),
+			Window: rng.Duration(q/10, q*9/10-at),
+		})
+	}
+	if rng.Bool(0.5) {
+		at := within(5, 45)
+		lo := rng.Duration(0, time.Millisecond)
+		steps = append(steps, Step{
+			At:     at,
+			Kind:   StepJitter,
+			Lo:     lo,
+			Hi:     lo + rng.Duration(time.Millisecond, 5*time.Millisecond),
+			Window: rng.Duration(q/10, q*9/10-at),
+		})
+	}
+	if rng.Bool(0.5) {
+		at := within(5, 45)
+		steps = append(steps, Step{
+			At:     at,
+			Kind:   StepSlow,
+			Proc:   rng.Intn(n),
+			Extra:  rng.Duration(2*time.Millisecond, 8*time.Millisecond),
+			Window: rng.Duration(q/10, q*9/10-at),
+		})
+	}
+
+	// Kill/restart churn: up to t concurrent crashes, distinct non-center
+	// victims, every one restarted before the quiesce point.
+	if t > 0 && n > 1 {
+		kc := 1 + rng.Intn(t)
+		if kc > n-1 {
+			kc = n - 1
+		}
+		order := rng.Perm(n - 1)
+		for i := 0; i < kc; i++ {
+			victim := 1 + order[i]
+			kill := within(5, 40)
+			steps = append(steps,
+				Step{At: kill, Kind: StepKill, Proc: victim},
+				Step{At: kill + rng.Duration(q/10, q*17/20-kill), Kind: StepRestart, Proc: victim},
+			)
+		}
+	}
+
+	// A journal fault window, if the run has a recovery store to fault.
+	if withJournal {
+		modes := []journal.FaultMode{
+			journal.FaultEIO, journal.FaultENOSPC, journal.FaultShortWrite, journal.FaultBitflip,
+		}
+		at := within(10, 50)
+		steps = append(steps, Step{
+			At:     at,
+			Kind:   StepJournal,
+			Proc:   journal.FaultAll,
+			Fault:  modes[rng.Intn(len(modes))],
+			Window: rng.Duration(q/10, q*9/10-at),
+		})
+	}
+
+	// Quiesce: everything still cut heals here; windows have expired and
+	// kills restarted strictly earlier.
+	steps = append(steps, Step{At: q, Kind: StepHeal})
+	return Schedule{Steps: steps}
+}

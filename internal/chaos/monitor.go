@@ -1,0 +1,336 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/proc"
+)
+
+// Invariant rule names, as reported in violations.
+const (
+	// RuleReelection: the network is fully healed and quiet, yet no
+	// connected majority agreed on a live leader within the bound.
+	RuleReelection = "reelection-bound"
+	// RuleAgreement: a connected majority component exists (possibly under
+	// partition), yet its members disagreed on the leader — or followed a
+	// dead or unreachable one — past the bound.
+	RuleAgreement = "majority-agreement"
+	// RuleDeadDelivery: a message was delivered to a crashed process.
+	RuleDeadDelivery = "dead-delivery"
+	// RuleStaleDelivery: a message was delivered to a superseded
+	// incarnation of a restarted process.
+	RuleStaleDelivery = "stale-incarnation-delivery"
+	// RuleRestoreRegression: a recovery restore left a process with lower
+	// suspicion counters than its journaled snapshot (suspicion state is
+	// monotone; a regression re-trusts processes the snapshot had already
+	// outwaited).
+	RuleRestoreRegression = "restore-regression"
+	// RuleJournalEscalation: a recovery path reported an error although no
+	// journal fault was ever injected — the degradation ladder let an
+	// unexplained failure through.
+	RuleJournalEscalation = "journal-escalation"
+)
+
+// Violation is one invariant breach observed during a chaos run.
+type Violation struct {
+	At     time.Duration
+	Rule   string
+	Detail string
+}
+
+// maxStoredViolations caps the retained list; the total count keeps rising.
+const maxStoredViolations = 64
+
+// MonitorConfig configures a Monitor.
+type MonitorConfig struct {
+	N     int
+	Bound time.Duration // re-election/agreement deadline after the last disruption
+	// Hosted marks the processes whose oracle state this cluster can read.
+	// nil means all of them. Remote members (multi-process runs) count for
+	// connectivity but cannot be checked for agreement.
+	Hosted []bool
+}
+
+// Monitor checks the protocol's invariants continuously during a chaos run.
+// It mirrors the fault state the orchestrator applies (so it knows the
+// current partition topology and whether noise is active), receives a
+// leader/liveness sample per collection tick, and records violations:
+//
+//   - Liveness: within Bound of the last disruption, every connected
+//     majority component must have all its (hosted, live) members agreeing
+//     on one live member of that component as leader. While loss, jitter or
+//     slow-node noise is active the clock is held — the paper only promises
+//     elections once the rotating-star assumption holds again.
+//   - Safety, fed by the cluster seams: no deliveries to dead or superseded
+//     incarnations, restores never regress suspicion state, journal faults
+//     never escalate past the degradation ladder.
+//
+// All methods are safe for concurrent use.
+type Monitor struct {
+	mu  sync.Mutex
+	cfg MonitorConfig
+
+	cut         []bool // mirror of the applied cut matrix
+	lossActive  bool
+	jitterOn    bool
+	slowSet     []bool
+	slowCount   int
+	journalEver bool // some journal fault was injected at least once
+
+	lastDisruption time.Duration
+	lastOK         time.Duration
+	flagged        bool // current violation episode already reported
+
+	violations []Violation
+	total      uint64
+
+	comp  []int // scratch: component index per process
+	queue []int // scratch: BFS queue
+}
+
+// NewMonitor returns a monitor for an n-process chaos run.
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	return &Monitor{
+		cfg:     cfg,
+		cut:     make([]bool, cfg.N*cfg.N),
+		slowSet: make([]bool, cfg.N),
+		comp:    make([]int, cfg.N),
+		queue:   make([]int, 0, cfg.N),
+	}
+}
+
+// noteStep mirrors an applied schedule step into the monitor's view of the
+// fault state and restarts the settle clock.
+func (m *Monitor) noteStep(at time.Duration, st Step) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lastDisruption = at
+	m.flagged = false // a new disruption starts a new episode
+	n := m.cfg.N
+	switch st.Kind {
+	case StepPartition:
+		comp := partitionComponents(n, st.Groups)
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a != b && comp[a] != comp[b] {
+					m.cut[a*n+b] = true
+				}
+			}
+		}
+	case StepHeal:
+		for i := range m.cut {
+			m.cut[i] = false
+		}
+	case StepCut:
+		if st.From != st.To {
+			m.cut[st.From*n+st.To] = true
+		}
+	case StepHealLink:
+		m.cut[st.From*n+st.To] = false
+	case StepLoss:
+		m.lossActive = st.Pct > 0
+	case StepJitter:
+		m.jitterOn = st.Hi > 0
+	case StepSlow:
+		on := st.Extra > 0
+		if m.slowSet[st.Proc] != on {
+			m.slowSet[st.Proc] = on
+			if on {
+				m.slowCount++
+			} else {
+				m.slowCount--
+			}
+		}
+	case StepJournal:
+		if st.Fault != journal.FaultOff {
+			m.journalEver = true
+		}
+	case StepKill, StepRestart:
+		// liveness comes from the down mask in OnSample
+	}
+}
+
+// NoteCrash records a crash (scheduled, chaos-injected, or explicit) so the
+// settle clock restarts.
+func (m *Monitor) NoteCrash(at time.Duration, id int) {
+	m.mu.Lock()
+	m.lastDisruption = at
+	m.mu.Unlock()
+}
+
+// NoteRestart records a process rejoining.
+func (m *Monitor) NoteRestart(at time.Duration, id int) {
+	m.mu.Lock()
+	m.lastDisruption = at
+	m.mu.Unlock()
+}
+
+// NoteRecovery records the outcome of a journal restore during a restart. A
+// recovery error is expected while journal faults are being injected (the
+// degradation ladder absorbs it); one with no fault ever injected is an
+// escalation violation.
+func (m *Monitor) NoteRecovery(at time.Duration, id int, err error) {
+	if err == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lastDisruption = at
+	if !m.journalEver {
+		m.violate(at, RuleJournalEscalation,
+			fmt.Sprintf("process %d: recovery error with no journal fault injected: %v", id, err))
+	}
+}
+
+// Violate records an externally detected violation (the cluster seams use
+// this for delivery and restore checks).
+func (m *Monitor) Violate(at time.Duration, rule, detail string) {
+	m.mu.Lock()
+	m.violate(at, rule, detail)
+	m.mu.Unlock()
+}
+
+func (m *Monitor) violate(at time.Duration, rule, detail string) {
+	m.total++
+	if len(m.violations) < maxStoredViolations {
+		m.violations = append(m.violations, Violation{At: at, Rule: rule, Detail: detail})
+	}
+}
+
+// OnSample feeds one collection tick: per-process leader estimates (negative
+// = unknown; indexes into the same id space) and the crashed mask. Remote
+// members report down=false and leader unknown; the hosted mask keeps them
+// out of the agreement check.
+func (m *Monitor) OnSample(at time.Duration, leaders []proc.ID, down []bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.cfg.N
+	if m.lossActive || m.jitterOn || m.slowCount > 0 {
+		// Noise windows hold the settle clock; the bound starts at the
+		// last noisy sample.
+		m.lastDisruption = at
+	}
+	if m.majorityAgrees(leaders, down) {
+		m.lastOK = at
+		m.flagged = false
+		return
+	}
+	ref := m.lastDisruption
+	if m.lastOK > ref {
+		ref = m.lastOK
+	}
+	if m.cfg.Bound > 0 && at-ref > m.cfg.Bound && !m.flagged {
+		rule := RuleReelection
+		partitioned := false
+		for i := 0; i < n*n; i++ {
+			if m.cut[i] {
+				partitioned = true
+				break
+			}
+		}
+		if partitioned {
+			rule = RuleAgreement
+		}
+		m.violate(at, rule, fmt.Sprintf(
+			"no agreeing connected majority for %v (bound %v); leaders=%v down=%v",
+			at-ref, m.cfg.Bound, leaders, down))
+		m.flagged = true
+	}
+}
+
+// majorityAgrees reports whether the current sample satisfies the liveness
+// invariant: if a connected component of live processes holds a strict
+// majority of the cluster, all its hosted members must agree on one live,
+// in-component leader. With no majority component (or none we can observe)
+// the check is vacuously true — the paper promises nothing there.
+func (m *Monitor) majorityAgrees(leaders []proc.ID, down []bool) bool {
+	n := m.cfg.N
+	// Connected components over live processes; edges need both directions
+	// uncut.
+	for i := range m.comp {
+		m.comp[i] = -1
+	}
+	next := 0
+	for s := 0; s < n; s++ {
+		if down[s] || m.comp[s] >= 0 {
+			continue
+		}
+		m.comp[s] = next
+		m.queue = append(m.queue[:0], s)
+		for len(m.queue) > 0 {
+			u := m.queue[len(m.queue)-1]
+			m.queue = m.queue[:len(m.queue)-1]
+			for v := 0; v < n; v++ {
+				if v == u || down[v] || m.comp[v] >= 0 {
+					continue
+				}
+				if m.cut[u*n+v] || m.cut[v*n+u] {
+					continue
+				}
+				m.comp[v] = next
+				m.queue = append(m.queue, v)
+			}
+		}
+		next++
+	}
+	// The (unique, if any) component holding a strict majority.
+	major := -1
+	for c := 0; c < next; c++ {
+		size := 0
+		for id := 0; id < n; id++ {
+			if !down[id] && m.comp[id] == c {
+				size++
+			}
+		}
+		if 2*size > n {
+			major = c
+			break
+		}
+	}
+	if major < 0 {
+		return true
+	}
+	leader := -1
+	for id := 0; id < n; id++ {
+		if down[id] || m.comp[id] != major {
+			continue
+		}
+		if m.cfg.Hosted != nil && !m.cfg.Hosted[id] {
+			continue // remote: counts for connectivity, unobservable
+		}
+		l := int(leaders[id])
+		if l < 0 || l >= n {
+			return false // no estimate yet
+		}
+		if down[l] || m.comp[l] != major {
+			return false // following a dead or unreachable leader
+		}
+		if leader < 0 {
+			leader = l
+		} else if l != leader {
+			return false // disagreement inside the majority
+		}
+	}
+	// Vacuously true when the majority holds no hosted member to check.
+	return true
+}
+
+// Violations returns the recorded violations (capped at 64 entries).
+func (m *Monitor) Violations() []Violation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Violation, len(m.violations))
+	copy(out, m.violations)
+	return out
+}
+
+// ViolationCount returns the total number of violations observed, including
+// any beyond the stored cap.
+func (m *Monitor) ViolationCount() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}

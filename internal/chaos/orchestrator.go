@@ -1,0 +1,120 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// Injector is what the orchestrator drives: the cluster-side seams a fault
+// step lands on. The star engines implement it over the shared Faults value,
+// the engine's crash/restart machinery, and the journal FaultStore.
+type Injector interface {
+	Cut(from, to int)
+	HealLink(from, to int)
+	HealAll()
+	Partition(groups [][]int)
+	SetLoss(p float64)
+	SetJitter(lo, hi time.Duration)
+	SetSlow(id int, extra time.Duration)
+	Kill(id int)
+	Restart(id int)
+	JournalFault(proc int, mode journal.FaultMode)
+}
+
+// Applied is one fired timeline entry: when it fired (transport time) and
+// the deterministic step description. The applied timeline is the replay
+// identity artifact — on the simulated transport two runs of the same
+// (options, seed, schedule) produce identical timelines.
+type Applied struct {
+	At   time.Duration
+	Desc string
+}
+
+// Orchestrator expands a validated Schedule into timed actions and records
+// the applied timeline. The engine owns scheduling: it asks for Actions()
+// once and fires each at its At on the transport's clock (virtual or wall).
+type Orchestrator struct {
+	inj Injector
+	mon *Monitor
+	ops []expStep
+
+	mu       sync.Mutex
+	timeline []Applied
+}
+
+// NewOrchestrator prepares sched (already validated) for injection through
+// inj, reporting each applied step to mon (may be nil).
+func NewOrchestrator(sched Schedule, inj Injector, mon *Monitor) *Orchestrator {
+	return &Orchestrator{inj: inj, mon: mon, ops: sched.expand()}
+}
+
+// Action is one expanded step bound to its orchestrator, ready to fire.
+type Action struct {
+	At time.Duration // schedule offset the engine should fire this at
+
+	o *Orchestrator
+	i int
+}
+
+// Actions returns the expanded steps in firing order (window reversions
+// included). Each must be fired exactly once.
+func (o *Orchestrator) Actions() []Action {
+	out := make([]Action, len(o.ops))
+	for i := range o.ops {
+		out[i] = Action{At: o.ops[i].step.At, o: o, i: i}
+	}
+	return out
+}
+
+// Fire applies the action at transport time now: mutates the injector,
+// notifies the monitor, and appends to the applied timeline.
+func (a Action) Fire(now time.Duration) {
+	o := a.o
+	st := o.ops[a.i].step
+	switch st.Kind {
+	case StepPartition:
+		o.inj.Partition(st.Groups)
+	case StepHeal:
+		o.inj.HealAll()
+	case StepCut:
+		o.inj.Cut(st.From, st.To)
+	case StepHealLink:
+		o.inj.HealLink(st.From, st.To)
+	case StepLoss:
+		o.inj.SetLoss(st.Pct)
+	case StepJitter:
+		o.inj.SetJitter(st.Lo, st.Hi)
+	case StepSlow:
+		o.inj.SetSlow(st.Proc, st.Extra)
+	case StepKill:
+		o.inj.Kill(st.Proc)
+	case StepRestart:
+		o.inj.Restart(st.Proc)
+	case StepJournal:
+		o.inj.JournalFault(st.Proc, st.Fault)
+	}
+	if o.mon != nil {
+		o.mon.noteStep(now, st)
+	}
+	o.mu.Lock()
+	o.timeline = append(o.timeline, Applied{At: now, Desc: st.Desc()})
+	o.mu.Unlock()
+}
+
+// Timeline returns a copy of the applied timeline so far.
+func (o *Orchestrator) Timeline() []Applied {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]Applied, len(o.timeline))
+	copy(out, o.timeline)
+	return out
+}
+
+// StepsApplied returns how many actions have fired.
+func (o *Orchestrator) StepsApplied() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.timeline)
+}

@@ -1,0 +1,159 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// FaultMode selects which I/O failure a FaultStore injects. The modes mirror
+// what a real disk does to a journal: EIO (a failing device), ENOSPC (a full
+// one), a short write (torn append), and a bit flip that the CRC layer
+// detects at load time. FaultOff restores normal operation.
+type FaultMode uint8
+
+const (
+	FaultOff FaultMode = iota
+	// FaultEIO fails every Save with an error wrapping syscall.EIO.
+	FaultEIO
+	// FaultENOSPC fails every Save with an error wrapping syscall.ENOSPC.
+	FaultENOSPC
+	// FaultShortWrite fails every Save with an error wrapping
+	// io.ErrShortWrite (a torn append: nothing durable was recorded).
+	FaultShortWrite
+	// FaultBitflip corrupts loads: Load reports the stored record as
+	// CRC-damaged (an error wrapping ErrCorrupt, no snapshot), which is
+	// exactly what FileStore surfaces after an on-disk bit flip. Saves
+	// succeed — the flip happens at rest, not in flight.
+	FaultBitflip
+)
+
+var faultNames = map[FaultMode]string{
+	FaultOff:        "off",
+	FaultEIO:        "eio",
+	FaultENOSPC:     "enospc",
+	FaultShortWrite: "shortwrite",
+	FaultBitflip:    "bitflip",
+}
+
+// String renders the mode ("eio", "enospc", "shortwrite", "bitflip", "off").
+func (m FaultMode) String() string {
+	if s, ok := faultNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("FaultMode(%d)", uint8(m))
+}
+
+// ParseFaultMode is String's inverse.
+func ParseFaultMode(s string) (FaultMode, error) {
+	for m, name := range faultNames {
+		if name == s {
+			return m, nil
+		}
+	}
+	return FaultOff, fmt.Errorf("journal: unknown fault mode %q", s)
+}
+
+// FaultAll applies a fault mode to every process (SetFault's proc wildcard).
+const FaultAll = -1
+
+// FaultStore wraps a Store with switchable I/O fault injection, per process
+// or store-wide. It exists so the degradation ladder — save errors counted
+// and retried next sweep; corrupt loads falling back to the fresh-start +
+// frontier-jump path — can be exercised deterministically, without a failing
+// disk. The zero fault set is a transparent passthrough.
+type FaultStore struct {
+	inner Store
+
+	mu    sync.Mutex
+	all   FaultMode
+	modes map[int]FaultMode
+
+	injectedSaves atomic.Uint64
+	injectedLoads atomic.Uint64
+}
+
+// NewFaultStore wraps inner; no faults are active until SetFault.
+func NewFaultStore(inner Store) *FaultStore {
+	if inner == nil {
+		panic("journal: NewFaultStore with nil inner store")
+	}
+	return &FaultStore{inner: inner, modes: make(map[int]FaultMode)}
+}
+
+// SetFault sets the active fault mode for proc (FaultAll for every process).
+// A per-process mode overrides the store-wide one; FaultOff clears.
+func (f *FaultStore) SetFault(proc int, m FaultMode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if proc == FaultAll {
+		f.all = m
+		if m == FaultOff {
+			clear(f.modes)
+		}
+		return
+	}
+	if m == FaultOff {
+		delete(f.modes, proc)
+	} else {
+		f.modes[proc] = m
+	}
+}
+
+// Injected returns how many Save and Load calls failed by injection so far.
+func (f *FaultStore) Injected() (saves, loads uint64) {
+	return f.injectedSaves.Load(), f.injectedLoads.Load()
+}
+
+func (f *FaultStore) modeFor(proc int) FaultMode {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.modes[proc]; ok {
+		return m
+	}
+	return f.all
+}
+
+// Save implements Store, failing with the injected error when a save-side
+// fault is active for s.Proc.
+func (f *FaultStore) Save(s *Snapshot) error {
+	switch f.modeFor(s.Proc) {
+	case FaultEIO:
+		f.injectedSaves.Add(1)
+		return fmt.Errorf("journal: injected save fault for process %d: %w", s.Proc, syscall.EIO)
+	case FaultENOSPC:
+		f.injectedSaves.Add(1)
+		return fmt.Errorf("journal: injected save fault for process %d: %w", s.Proc, syscall.ENOSPC)
+	case FaultShortWrite:
+		f.injectedSaves.Add(1)
+		return fmt.Errorf("journal: injected save fault for process %d: %w", s.Proc, io.ErrShortWrite)
+	}
+	return f.inner.Save(s)
+}
+
+// Load implements Store. Under FaultBitflip the stored record reads as
+// CRC-damaged: no snapshot, an error wrapping ErrCorrupt — the same surface
+// FileStore presents after real on-disk damage (whose byte-level cases its
+// own tests cover; the wrapper emulates the detected outcome at the seam).
+func (f *FaultStore) Load(proc int) (*Snapshot, error) {
+	if f.modeFor(proc) == FaultBitflip {
+		f.injectedLoads.Add(1)
+		return nil, fmt.Errorf("journal: injected bit flip for process %d: %w", proc, ErrCorrupt)
+	}
+	return f.inner.Load(proc)
+}
+
+// Close implements Store, forwarding to the wrapped store.
+func (f *FaultStore) Close() error { return f.inner.Close() }
+
+// IsInjected reports whether err carries one of the injected fault causes
+// (EIO, ENOSPC, short write, or the bitflip's ErrCorrupt).
+func IsInjected(err error) bool {
+	return errors.Is(err, syscall.EIO) || errors.Is(err, syscall.ENOSPC) ||
+		errors.Is(err, io.ErrShortWrite) || errors.Is(err, ErrCorrupt)
+}
+
+var _ Store = (*FaultStore)(nil)

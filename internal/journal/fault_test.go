@@ -1,0 +1,110 @@
+package journal
+
+import (
+	"errors"
+	"io"
+	"syscall"
+	"testing"
+)
+
+func snapFor(proc int) *Snapshot {
+	return &Snapshot{Proc: proc, RRN: 2, SRN: 1, Levels: []int64{0, 1, 2}}
+}
+
+func TestFaultStorePassthrough(t *testing.T) {
+	fs := NewFaultStore(NewMem())
+	if err := fs.Save(snapFor(1)); err != nil {
+		t.Fatalf("clean save: %v", err)
+	}
+	snap, err := fs.Load(1)
+	if err != nil || snap == nil {
+		t.Fatalf("clean load: %v %v", snap, err)
+	}
+	if saves, loads := fs.Injected(); saves != 0 || loads != 0 {
+		t.Fatalf("injected counters moved on clean path: %d %d", saves, loads)
+	}
+}
+
+func TestFaultStoreSaveModes(t *testing.T) {
+	cases := []struct {
+		mode FaultMode
+		want error
+	}{
+		{FaultEIO, syscall.EIO},
+		{FaultENOSPC, syscall.ENOSPC},
+		{FaultShortWrite, io.ErrShortWrite},
+	}
+	for _, tc := range cases {
+		fs := NewFaultStore(NewMem())
+		fs.SetFault(FaultAll, tc.mode)
+		err := fs.Save(snapFor(0))
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%v: Save error = %v, want wrapping %v", tc.mode, err, tc.want)
+		}
+		if !IsInjected(err) {
+			t.Errorf("%v: IsInjected = false", tc.mode)
+		}
+		if saves, _ := fs.Injected(); saves != 1 {
+			t.Errorf("%v: injected saves = %d", tc.mode, saves)
+		}
+		// The failed save must not have reached the inner store.
+		if snap, _ := fs.Load(0); snap != nil {
+			t.Errorf("%v: failed save persisted", tc.mode)
+		}
+	}
+}
+
+func TestFaultStoreBitflip(t *testing.T) {
+	fs := NewFaultStore(NewMem())
+	if err := fs.Save(snapFor(2)); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	fs.SetFault(2, FaultBitflip)
+	// Saves still succeed under bitflip (the damage is at rest).
+	if err := fs.Save(snapFor(2)); err != nil {
+		t.Fatalf("save under bitflip: %v", err)
+	}
+	snap, err := fs.Load(2)
+	if snap != nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load = (%v, %v), want (nil, ErrCorrupt)", snap, err)
+	}
+	if _, loads := fs.Injected(); loads != 1 {
+		t.Fatalf("injected loads = %d", loads)
+	}
+	// Clearing the fault recovers the stored snapshot intact.
+	fs.SetFault(2, FaultOff)
+	snap, err = fs.Load(2)
+	if err != nil || snap == nil || snap.Proc != 2 {
+		t.Fatalf("post-heal load = (%v, %v)", snap, err)
+	}
+}
+
+func TestFaultStoreScoping(t *testing.T) {
+	fs := NewFaultStore(NewMem())
+	fs.SetFault(FaultAll, FaultEIO)
+	// A per-process entry overrides the wildcard.
+	fs.SetFault(1, FaultENOSPC)
+	if err := fs.Save(snapFor(1)); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("override mode = %v", err)
+	}
+	if err := fs.Save(snapFor(0)); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("wildcard mode = %v", err)
+	}
+	// FaultAll+FaultOff clears everything, including per-process modes.
+	fs.SetFault(FaultAll, FaultOff)
+	if err := fs.Save(snapFor(1)); err != nil {
+		t.Fatalf("post-clear save: %v", err)
+	}
+}
+
+func TestFaultModeParse(t *testing.T) {
+	for _, m := range []FaultMode{FaultOff, FaultEIO, FaultENOSPC, FaultShortWrite, FaultBitflip} {
+		back, err := ParseFaultMode(m.String())
+		if err != nil || back != m {
+			t.Errorf("round trip %v: %v %v", m, back, err)
+		}
+	}
+	if _, err := ParseFaultMode("sparks"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

@@ -175,7 +175,28 @@ type Network struct {
 	OnDeliver func(ev *Envelope)
 	// OnCrashHook, when non-nil, observes crashes.
 	OnCrashHook func(id proc.ID, at sim.Time)
+
+	// fault, when non-nil, is the chaos-layer link-fault overlay: it can
+	// refuse sends (cuts, loss) and add latency (jitter, slow nodes) on top
+	// of the scenario's DelayPolicy. See SetLinkFault.
+	fault LinkFault
 }
+
+// LinkFault is the chaos overlay seam, mirroring tcpnet.Policy: Admit is
+// consulted once per (unicast or multicast-leg) send — a refusal drops the
+// message, counted as sent and dropped exactly like the TCP transport's
+// policy drops — and Delay adds to the scenario policy's draw. With a
+// deterministic implementation the simulation stays a pure function of
+// (scenario, seed, fault schedule).
+type LinkFault interface {
+	Admit(from, to proc.ID) bool
+	Delay(from, to proc.ID) time.Duration
+}
+
+// SetLinkFault installs the chaos fault overlay (nil removes it). Call
+// before the run or from within the event loop; the overlay itself may be
+// mutated at any time.
+func (n *Network) SetLinkFault(f LinkFault) { n.fault = f }
 
 // Config assembles a Network.
 type Config struct {
@@ -363,6 +384,21 @@ func (n *Network) RestartAt(id proc.ID, at sim.Time, factory func() proc.Node) {
 	n.sched.AtTyped(at, n, evRestart, uint64(uint32(id)), factory)
 }
 
+// Restart brings a fresh incarnation of process id up immediately (the
+// within-event-loop twin of RestartAt, used by chaos timelines whose actions
+// fire as scheduler events). It reports whether a restart happened — false
+// when the process was not down.
+func (n *Network) Restart(id proc.ID, factory func() proc.Node) bool {
+	if factory == nil {
+		panic("netsim: Restart with nil factory")
+	}
+	if !n.crashed[id] {
+		return false
+	}
+	n.restartNow(id, factory)
+	return true
+}
+
 func (n *Network) restartNow(id proc.ID, factory func() proc.Node) {
 	if !n.crashed[id] {
 		return
@@ -427,18 +463,7 @@ func (n *Network) send(from, to proc.ID, msg any) {
 		panic(fmt.Sprintf("netsim: send to invalid process %d", to))
 	}
 	n.nextSeq++
-	ev := n.getEnvelope()
-	ev.Seq = n.nextSeq
-	ev.From = from
-	ev.To = to
-	ev.Payload = msg
-	ev.SentAt = n.sched.Now()
 	n.stats.Sent++
-	// One transport reference per send; released in putEnvelope when this
-	// copy's delivery (or drop) completes. See wire's pooling contract.
-	if r, ok := msg.(wire.Recyclable); ok {
-		r.Retain()
-	}
 	if wm, ok := msg.(wire.Message); ok {
 		// A kind >= wire.KindCount panics here: better a loud index error
 		// than per-kind tables that silently stop summing to the totals.
@@ -448,7 +473,29 @@ func (n *Network) send(from, to proc.ID, msg any) {
 		n.stats.ByKind[k]++
 		n.stats.BytesKind[k] += sz
 	}
+	if n.fault != nil && !n.fault.Admit(from, to) {
+		// Refused by the chaos overlay: counted as sent and dropped (like
+		// tcpnet policy drops), no envelope allocated, no transport retain,
+		// and — preserving determinism for runs without the overlay — no
+		// policy delay draw consumed.
+		n.stats.Dropped++
+		return
+	}
+	ev := n.getEnvelope()
+	ev.Seq = n.nextSeq
+	ev.From = from
+	ev.To = to
+	ev.Payload = msg
+	ev.SentAt = n.sched.Now()
+	// One transport reference per send; released in putEnvelope when this
+	// copy's delivery (or drop) completes. See wire's pooling contract.
+	if r, ok := msg.(wire.Recyclable); ok {
+		r.Retain()
+	}
 	d := n.policy.Delay(ev, n.rand)
+	if n.fault != nil {
+		d += n.fault.Delay(from, to)
+	}
 	if d < 0 {
 		d = 0
 	}
@@ -547,18 +594,33 @@ func (n *Network) multicast(from proc.ID, dests *bitset.Set, msg any) {
 			n.stats.ByKind[kind]++
 			n.stats.BytesKind[kind] += sz
 		}
+		if n.fault != nil && !n.fault.Admit(from, to) {
+			// Chaos overlay refusal: this leg is counted sent+dropped and
+			// never materializes — no retain, no delay draw, no leg.
+			n.stats.Dropped++
+			continue
+		}
 		if recyclable != nil {
 			recyclable.Retain() // one transport reference per destination bit
 		}
 		scratch.Seq, scratch.To = n.nextSeq, to
 		d := n.policy.Delay(scratch, n.rand)
+		if n.fault != nil {
+			d += n.fault.Delay(from, to)
+		}
 		if d < 0 {
 			d = 0
 		}
 		legs = append(legs, mcLeg{at: now.Add(d), seq: n.nextSeq, to: to})
 	}
 	scratch.Payload = nil
-	base := n.sched.ReserveSeqs(k)
+	if len(legs) == 0 {
+		// Every leg refused: nothing in flight, recycle the carrier.
+		mc.legs = legs
+		n.putMcast(mc)
+		return
+	}
+	base := n.sched.ReserveSeqs(len(legs))
 	for i := range legs {
 		legs[i].schedSeq = base + uint64(i)
 	}

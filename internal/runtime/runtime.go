@@ -50,6 +50,19 @@ type Config struct {
 	// concurrent invocation across DIFFERENT receivers, and must not call
 	// back into the cluster.
 	OnDeliver func(to proc.ID)
+
+	// Fault, when non-nil, is the chaos-layer link-fault overlay: a send it
+	// refuses is dropped (counted sent and dropped, like a faulted link),
+	// and its Delay adds to the configured DelayFunc. It is called from
+	// process goroutines and must be safe for concurrent use.
+	Fault LinkFault
+}
+
+// LinkFault is the chaos overlay seam, shared shape-for-shape with the
+// netsim and tcpnet transports so one fault state drives all three.
+type LinkFault interface {
+	Admit(from, to proc.ID) bool
+	Delay(from, to proc.ID) time.Duration
 }
 
 // Stats aggregates link-level counters, mirroring netsim.Stats field for
@@ -345,10 +358,20 @@ func (e *renv) Multicast(dests *bitset.Set, msg any) {
 // delay. Arrival (the mailbox push) is where a down receiver drops the
 // message, mirroring the simulator's delivery-time drop.
 func (e *renv) sendOne(to proc.ID, msg any) {
+	lf := e.cluster.cfg.Fault
+	if lf != nil && !lf.Admit(e.id, to) {
+		// Chaos overlay refusal: the copy was sent (the caller counted it)
+		// and the link ate it.
+		atomic.AddUint64(&e.cluster.stats.Dropped, 1)
+		return
+	}
 	dst := e.cluster.envs[to]
 	var d time.Duration
 	if f := e.cluster.cfg.Delay; f != nil {
 		d = f(e.id, to, msg)
+	}
+	if lf != nil {
+		d += lf.Delay(e.id, to)
 	}
 	if d <= 0 {
 		dst.arriveMsg(e.id, msg)

@@ -1,0 +1,81 @@
+package tcpnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/proc"
+)
+
+// TestBreakerOpensAndRecovers: a peer that keeps refusing dials trips the
+// link's circuit breaker (counted in Stats), and once the peer appears the
+// half-open probe reconnects and traffic flows.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	addrs := freePorts(t, 2) // nobody listens on either yet
+
+	c0, err := New(Config{N: 2, Addrs: addrs, Local: []proc.ID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0 := newTicker(5 * time.Millisecond)
+	c0.Register(0, n0)
+	if err := c0.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c0.Stop)
+
+	// Member 1's port refuses every dial: after breakerThreshold
+	// consecutive failures the breaker must open.
+	waitFor(t, 10*time.Second, "breaker open", func() bool {
+		return c0.Stats().BreakerOpens >= 1
+	})
+
+	// While open, frames are dropped without dialing — the queue drains, so
+	// the link reads as idle and Drain returns promptly despite the dead peer.
+	if !c0.Drain(2 * time.Second) {
+		t.Fatal("Drain timed out with an open breaker")
+	}
+
+	// The peer comes up; the next half-open probe (at most one cooldown
+	// away) must reconnect and deliver.
+	c1, err := New(Config{N: 2, Addrs: addrs, Local: []proc.ID{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1 := newTicker(5 * time.Millisecond)
+	c1.Register(1, n1)
+	if err := c1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c1.Stop)
+
+	waitFor(t, 10*time.Second, "delivery after breaker recovery", func() bool {
+		var ok bool
+		c1.Inspect(1, func() { ok = n1.got[0] >= 3 })
+		return ok
+	})
+}
+
+// TestDrainIdle: Drain returns true quickly on a healthy cluster — queues
+// empty, nothing mid-write — and is safe to call repeatedly.
+func TestDrainIdle(t *testing.T) {
+	c, nodes := startLocal(t, 3, nil)
+	waitFor(t, 10*time.Second, "all-pairs delivery", func() bool {
+		ok := true
+		for i := range nodes {
+			c.Inspect(i, func() {
+				for j := range nodes {
+					if nodes[i].got[proc.ID(j)] < 2 {
+						ok = false
+					}
+				}
+			})
+		}
+		return ok
+	})
+	for i := 0; i < 3; i++ {
+		if !c.Drain(2 * time.Second) {
+			t.Fatalf("Drain %d timed out on a healthy cluster", i)
+		}
+	}
+}

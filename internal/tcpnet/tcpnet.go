@@ -67,6 +67,17 @@ const (
 	dialTimeout  = 2 * time.Second
 	reconnectMin = 20 * time.Millisecond
 	reconnectMax = 1 * time.Second
+	// writeTimeout bounds one frame write (hello included): a black-holed
+	// peer — accepting but never reading, receive window closed — fails the
+	// write instead of wedging the writer goroutine forever.
+	writeTimeout = 3 * time.Second
+	// breakerThreshold consecutive dial failures open a link's circuit
+	// breaker: for breakerCooldown the writer drops frames immediately
+	// instead of redialing a peer that keeps refusing. After the cooldown
+	// the next frame is the half-open probe — one real dial; success closes
+	// the breaker, failure re-opens it without burning a backoff sleep.
+	breakerThreshold = 5
+	breakerCooldown  = 500 * time.Millisecond
 )
 
 // Config parameterizes a Cluster.
@@ -96,6 +107,11 @@ type Stats struct {
 	Bytes     uint64 // framed bytes of all sent frames (Size + FrameOverhead)
 	ByKind    [wire.KindCount]uint64
 	BytesKind [wire.KindCount]uint64
+	// BreakerOpens counts circuit-breaker opens across all links: each time
+	// breakerThreshold consecutive dial failures put a link into fast-drop
+	// mode (half-open re-opens count again). A flapping peer shows up here
+	// long before it shows up in Dropped.
+	BreakerOpens uint64
 }
 
 // Cluster owns this process's share of the members and their links.
@@ -328,6 +344,7 @@ func (c *Cluster) Stats() Stats {
 	out.Delivered = atomic.LoadUint64(&c.stats.Delivered)
 	out.Dropped = atomic.LoadUint64(&c.stats.Dropped)
 	out.Bytes = atomic.LoadUint64(&c.stats.Bytes)
+	out.BreakerOpens = atomic.LoadUint64(&c.stats.BreakerOpens)
 	for k := range out.ByKind {
 		out.ByKind[k] = atomic.LoadUint64(&c.stats.ByKind[k])
 		out.BytesKind[k] = atomic.LoadUint64(&c.stats.BytesKind[k])
@@ -347,6 +364,45 @@ func (c *Cluster) Inspect(id proc.ID, f func()) {
 // no callback of local process id executes. Allocation-free.
 func (c *Cluster) LockProcess(id proc.ID)   { c.mustLocal(id).handleMu.Lock() }
 func (c *Cluster) UnlockProcess(id proc.ID) { c.mustLocal(id).handleMu.Unlock() }
+
+// Drain waits — up to grace — for every outbound link to go idle: queues
+// empty and no writer goroutine holding a frame mid-write. Call it before
+// Stop when the final frames matter (a closing cluster's last multicast
+// fan-out would otherwise race the teardown); a wedged or partitioned link
+// cannot extend the wait beyond grace. It returns true when the links
+// drained, false when the grace period expired first.
+func (c *Cluster) Drain(grace time.Duration) bool {
+	deadline := time.Now().Add(grace)
+	for {
+		if c.linksIdle() {
+			return true
+		}
+		if c.stopped() || !time.Now().Before(deadline) {
+			return c.linksIdle()
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func (c *Cluster) linksIdle() bool {
+	for _, row := range c.links {
+		for _, l := range row {
+			if l == nil {
+				continue
+			}
+			if l.inflight.Load() != 0 {
+				return false
+			}
+			l.mu.Lock()
+			pending := len(l.queue)
+			l.mu.Unlock()
+			if pending != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
 
 // Stop shuts this process's share of the cluster down: listeners close,
 // connections drop, link writers and readers drain out, timers disarm. The
@@ -502,6 +558,15 @@ type link struct {
 	conn   net.Conn
 	closed bool
 	signal chan struct{}
+
+	// inflight is 1 while the writer goroutine holds a popped frame (being
+	// written or dropped); Drain polls it so a frame between queue and
+	// socket is not mistaken for an idle link.
+	inflight atomic.Int32
+
+	// Circuit-breaker state, touched only by the writer goroutine.
+	dialFails int       // consecutive dial failures
+	openUntil time.Time // breaker open (fast-drop) until this instant
 }
 
 func newLink(c *Cluster, from, to proc.ID) *link {
@@ -545,6 +610,10 @@ func (l *link) pop() (*buffer, bool) {
 			b := l.queue[0]
 			l.queue[0] = nil
 			l.queue = l.queue[1:]
+			// Marked before the queue slot is visibly empty (still under
+			// mu), so Drain never sees "empty queue, nothing in flight"
+			// while a frame is in hand.
+			l.inflight.Store(1)
 			l.mu.Unlock()
 			return b, true
 		}
@@ -599,13 +668,16 @@ func (l *link) run() {
 		if conn == nil {
 			b.release()
 			l.c.countDropped()
+			l.inflight.Store(0)
 			if l.c.stopped() {
 				return
 			}
 			continue
 		}
+		conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 		_, err := conn.Write(b.b)
 		b.release()
+		l.inflight.Store(0)
 		if err != nil {
 			l.dropConn(conn)
 			l.c.countDropped()
@@ -627,14 +699,19 @@ func (l *link) runLoopback() {
 		b.release()
 		if err != nil {
 			l.c.countDropped()
+			l.inflight.Store(0)
 			continue
 		}
 		e.deliver(l.from, m)
+		l.inflight.Store(0)
 	}
 }
 
 // ensureConn returns the link's connection, dialing (with hello) if there is
-// none. On dial failure it sleeps the current backoff and returns nil.
+// none. On dial failure it sleeps the current backoff and returns nil; after
+// breakerThreshold consecutive failures the circuit breaker opens and frames
+// drop immediately (no dial, no sleep) until the cooldown elapses, when the
+// next frame becomes the half-open probe.
 func (l *link) ensureConn(backoff *time.Duration) net.Conn {
 	l.mu.Lock()
 	conn := l.conn
@@ -642,9 +719,13 @@ func (l *link) ensureConn(backoff *time.Duration) net.Conn {
 	if conn != nil {
 		return conn
 	}
+	if !l.openUntil.IsZero() && time.Now().Before(l.openUntil) {
+		return nil // breaker open: fast-drop without dialing
+	}
 	d := net.Dialer{Timeout: dialTimeout}
 	conn, err := d.DialContext(l.c.ctx, "tcp", l.c.addrs[l.to])
 	if err == nil {
+		conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 		hello := netwire.AppendHello(nil, l.from, l.c.cfg.N)
 		if _, werr := conn.Write(hello); werr != nil {
 			conn.Close()
@@ -652,6 +733,12 @@ func (l *link) ensureConn(backoff *time.Duration) net.Conn {
 		}
 	}
 	if err != nil {
+		l.dialFails++
+		if l.dialFails >= breakerThreshold {
+			l.openUntil = time.Now().Add(breakerCooldown)
+			atomic.AddUint64(&l.c.stats.BreakerOpens, 1)
+			return nil
+		}
 		select {
 		case <-time.After(*backoff):
 		case <-l.c.ctx.Done():
@@ -661,6 +748,8 @@ func (l *link) ensureConn(backoff *time.Duration) net.Conn {
 		}
 		return nil
 	}
+	l.dialFails = 0
+	l.openUntil = time.Time{}
 	*backoff = reconnectMin
 	l.mu.Lock()
 	if l.closed {

@@ -1,0 +1,277 @@
+package star_test
+
+import (
+	"bytes"
+	"flag"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/star"
+)
+
+// -chaos.seed replays one soak seed (its schedule JSON is printed on
+// failure); 0 runs the default seed sweep.
+var chaosSeed = flag.Uint64("chaos.seed", 0, "replay a single chaos soak seed")
+
+// TestChaosOptionValidation: schedule validation happens in New and every
+// failure names the problem via ErrInvalidParams.
+func TestChaosOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []star.Option
+	}{
+		{"nil schedule", []star.Option{star.N(3), star.WithChaos(nil)}},
+		{"restart without kill", []star.Option{star.N(3),
+			star.WithChaos(star.NewChaosSchedule().Restart(time.Second, 1))}},
+		{"out-of-range kill", []star.Option{star.N(3),
+			star.WithChaos(star.NewChaosSchedule().Kill(time.Second, 7))}},
+		{"journal faults without recovery", []star.Option{star.N(3),
+			star.WithChaos(star.NewChaosSchedule().JournalFault(time.Second, -1, "eio", 0))}},
+		{"bad fault mode", []star.Option{star.N(3), star.WithRecovery(star.MemJournal()),
+			star.WithChaos(star.NewChaosSchedule().JournalFault(time.Second, -1, "gremlins", 0))}},
+		{"negative bound", []star.Option{star.N(3),
+			star.WithChaos(star.NewChaosSchedule().HealAll(time.Second)), star.ChaosBound(-time.Second)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := star.New(tc.opts...); err == nil {
+				t.Fatal("New accepted an invalid chaos configuration")
+			}
+		})
+	}
+}
+
+// TestChaosScheduleJSONRoundTrip: the builder's JSON is the replay artifact;
+// parsing it back and re-rendering must be byte-identical.
+func TestChaosScheduleJSONRoundTrip(t *testing.T) {
+	s := star.NewChaosSchedule().
+		Partition(100*time.Millisecond, []int{1, 2}, []int{0, 3, 4}).
+		Cut(150*time.Millisecond, 0, 3).
+		Loss(200*time.Millisecond, 0.2, 300*time.Millisecond).
+		Jitter(250*time.Millisecond, time.Millisecond, 4*time.Millisecond, 200*time.Millisecond).
+		SlowNode(300*time.Millisecond, 4, 5*time.Millisecond, 100*time.Millisecond).
+		Kill(400*time.Millisecond, 2).
+		Restart(700*time.Millisecond, 2).
+		JournalFault(450*time.Millisecond, -1, "eio", 200*time.Millisecond).
+		HealAll(900 * time.Millisecond)
+	data, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := star.ParseChaosSchedule(data)
+	if err != nil {
+		t.Fatalf("parsing own JSON: %v\n%s", err, data)
+	}
+	again, err := parsed.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("round trip not byte-identical:\n%s\n%s", data, again)
+	}
+	if parsed.Len() != s.Len() {
+		t.Fatalf("round trip changed step count: %d vs %d", parsed.Len(), s.Len())
+	}
+}
+
+// runChaosSim runs one seeded soak schedule on the simulator and returns the
+// cluster's report (the cluster is closed).
+func runChaosSim(t *testing.T, seed uint64, sched *star.ChaosSchedule, horizon time.Duration) *star.Report {
+	t.Helper()
+	c, err := star.New(
+		star.N(5), star.Resilience(2), star.Seed(seed),
+		star.Scenario(star.AllTimely()),
+		star.WithRecovery(star.MemJournal()),
+		star.SnapshotEvery(50*time.Millisecond),
+		star.WithChaos(sched),
+		star.ChaosBound(2*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Horizon covers the whole schedule; the tail past quiesce plus the
+	// bound is where the monitor would flag a missed re-election.
+	if err := c.Run(horizon + 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return c.Report()
+}
+
+// TestChaosSimSoak: randomized seed-sampled schedules on the simulator. Every
+// seed must finish with zero invariant violations and an agreeing majority;
+// a failure prints the seed and the schedule JSON for byte-for-byte replay
+// (go test -run TestChaosSimSoak -args -chaos.seed=N).
+func TestChaosSimSoak(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4, 5, 6}
+	if *chaosSeed != 0 {
+		seeds = []uint64{*chaosSeed}
+	}
+	const horizon = 3 * time.Second
+	for _, seed := range seeds {
+		sched := star.SampleChaosSchedule(seed, 5, 2, horizon, true)
+		rep := runChaosSim(t, seed, sched, horizon)
+		if rep.Chaos == nil {
+			t.Fatal("WithChaos run has no Chaos report")
+		}
+		if rep.Chaos.StepsApplied < sched.Len() {
+			t.Errorf("seed %d: %d steps applied, schedule has %d", seed, rep.Chaos.StepsApplied, sched.Len())
+		}
+		if rep.Chaos.TotalViolations != 0 {
+			js, _ := sched.JSON()
+			t.Errorf("seed %d: %d invariant violations %+v\nreplay schedule: %s",
+				seed, rep.Chaos.TotalViolations, rep.Chaos.Violations, js)
+		}
+	}
+}
+
+// TestChaosReplayDeterminism: on the simulated transport a chaos run is a
+// pure function of (options, seed, schedule) — two runs of the same soak
+// seed produce identical applied timelines and identical domain reports.
+func TestChaosReplayDeterminism(t *testing.T) {
+	const seed = 42
+	const horizon = 3 * time.Second
+	run := func() *star.Report {
+		return runChaosSim(t, seed, star.SampleChaosSchedule(seed, 5, 2, horizon, true), horizon)
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Chaos.Timeline, b.Chaos.Timeline) {
+		t.Fatalf("applied timelines differ:\n%+v\n%+v", a.Chaos.Timeline, b.Chaos.Timeline)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("replay not byte-identical:\nNet  %+v vs %+v\nRec  %+v vs %+v\nStab %+v vs %+v",
+			a.Net, b.Net, a.Recovery, b.Recovery, a.Stabilization, b.Stabilization)
+	}
+}
+
+// TestChaosPartitionReelection is the partition→heal property, parameterized
+// over the declared capability sets: every transport that claims CapChaos
+// must re-elect after a healed minority partition with zero invariant
+// violations. Real-socket and goroutine transports poll for agreement on
+// wall clocks; the simulator asserts on virtual time.
+func TestChaosPartitionReelection(t *testing.T) {
+	transports := []struct {
+		name string
+		make func() star.Transport
+	}{
+		{"sim", func() star.Transport { return star.Simulated() }},
+		{"live", func() star.Transport { return star.Live() }},
+		{"network", func() star.Transport { return star.Network(loopbackAddrs(5)) }},
+	}
+	sched := func() *star.ChaosSchedule {
+		return star.NewChaosSchedule().
+			Partition(300*time.Millisecond, []int{1, 2}, []int{0, 3, 4}).
+			HealAll(1200 * time.Millisecond)
+	}
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			transport := tr.make()
+			if !transport.Capabilities().Has(star.CapChaos) {
+				t.Skipf("transport %v does not declare CapChaos", transport)
+			}
+			c, err := star.New(
+				star.N(5), star.Seed(11),
+				star.Scenario(star.AllTimely()),
+				transport,
+				star.WithChaos(sched()),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if err := c.Run(1500 * time.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+			if transport.Capabilities().Has(star.CapDeterminism) {
+				// Virtual time: one more bound's worth must suffice.
+				if err := c.Run(3 * time.Second); err != nil {
+					t.Fatal(err)
+				}
+				if _, ok := c.Agreement(); !ok {
+					t.Fatalf("no agreement after healed partition: %v", c.Leaders())
+				}
+			} else {
+				pollAgreement(t, c, 30*time.Second)
+			}
+			rep := c.Report()
+			if rep.Chaos == nil || rep.Chaos.StepsApplied < 2 {
+				t.Fatalf("chaos timeline did not run: %+v", rep.Chaos)
+			}
+			if rep.Chaos.TotalViolations != 0 {
+				t.Fatalf("%d invariant violations: %+v", rep.Chaos.TotalViolations, rep.Chaos.Violations)
+			}
+		})
+	}
+}
+
+// TestChaosJournalLadder pins the degradation ladder under injected journal
+// faults, end to end through Report(): save errors are counted, a restart
+// during an EIO window still restores (the pre-fault snapshot survives), a
+// restart during a bitflip window degrades to the fallback rung — and none
+// of it escalates into a monitor violation.
+func TestChaosJournalLadder(t *testing.T) {
+	cases := []struct {
+		mode         string
+		wantRestore  bool // the 700ms restart resumes from a journaled snapshot
+		wantSaveErrs bool
+	}{
+		{"eio", true, true},       // saves fail, old snapshot still loads
+		{"bitflip", false, false}, // saves succeed, loads come back corrupt
+	}
+	for _, tc := range cases {
+		t.Run(tc.mode, func(t *testing.T) {
+			sched := star.NewChaosSchedule().
+				JournalFault(200*time.Millisecond, -1, tc.mode, 700*time.Millisecond).
+				Kill(400*time.Millisecond, 2).
+				Restart(700*time.Millisecond, 2)
+			rep := runChaosSim(t, 9, sched, 900*time.Millisecond)
+			if rep.Chaos.TotalViolations != 0 {
+				t.Fatalf("ladder escalated into violations: %+v", rep.Chaos.Violations)
+			}
+			if tc.wantSaveErrs && rep.Recovery.SaveErrors == 0 {
+				t.Fatalf("no save errors counted under %s faults: %+v", tc.mode, rep.Recovery)
+			}
+			if !tc.wantSaveErrs && rep.Recovery.SaveErrors != 0 {
+				t.Fatalf("unexpected save errors under %s faults: %+v", tc.mode, rep.Recovery)
+			}
+			if tc.wantRestore && rep.Recovery.Restores == 0 {
+				t.Fatalf("restart under %s faults did not restore: %+v", tc.mode, rep.Recovery)
+			}
+			if !tc.wantRestore && rep.Recovery.Fallbacks == 0 {
+				t.Fatalf("restart under %s faults did not fall back: %+v", tc.mode, rep.Recovery)
+			}
+		})
+	}
+}
+
+// TestChaosNetSoak: a sampled schedule (kills, cuts, loss — no journal
+// faults) on real TCP sockets. The wall-clock interleaving is real; the
+// invariants must hold anyway.
+func TestChaosNetSoak(t *testing.T) {
+	const horizon = 2 * time.Second
+	sched := star.SampleChaosSchedule(3, 4, 1, horizon, false)
+	c, err := star.New(
+		star.N(4), star.Resilience(1), star.Seed(3),
+		star.Network(loopbackAddrs(4)),
+		star.WithChaos(sched),
+		star.ChaosBound(10*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	pollAgreement(t, c, 30*time.Second)
+	rep := c.Report()
+	if rep.Chaos == nil || rep.Chaos.StepsApplied < sched.Len() {
+		t.Fatalf("chaos timeline incomplete: %+v", rep.Chaos)
+	}
+	if rep.Chaos.TotalViolations != 0 {
+		js, _ := sched.JSON()
+		t.Fatalf("%d invariant violations: %+v\nschedule: %s",
+			rep.Chaos.TotalViolations, rep.Chaos.Violations, js)
+	}
+}

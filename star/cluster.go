@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/abcast"
 	"repro/internal/baseline"
+	"repro/internal/chaos"
 	"repro/internal/check"
 	"repro/internal/consensus"
 	"repro/internal/core"
@@ -81,6 +82,22 @@ type Cluster struct {
 		fallbacks  atomic.Uint64
 	}
 
+	// Chaos state (WithChaos): the shared link-fault state the transport's
+	// send path consults, the orchestrator that fires the schedule, the
+	// invariant monitor, the FaultStore wrapped around the recovery store
+	// (chaos journal faults inject here), and a scratch down-mask for the
+	// monitor's sample feed (owned by collect, which the engine serializes).
+	chaosFaults  *chaos.Faults
+	chaosOrch    *chaos.Orchestrator
+	chaosMon     *chaos.Monitor
+	chaosJournal *journal.FaultStore
+	chaosDown    []bool
+	// chaosFloor[id] holds the suspicion levels a restoring incarnation
+	// must come back with (RestoreSnapshot stages; Start applies): the
+	// guard checks and clears it right after the node starts. Written and
+	// read under the process's callback serialization.
+	chaosFloor [][]int64
+
 	// mu guards the collector state and lifecycle flags (live transport:
 	// the sampler goroutine writes, Report reads). The read-only state
 	// accessors do not take it, so observers may call them freely.
@@ -133,6 +150,16 @@ func New(opts ...Option) (*Cluster, error) {
 		return nil, err
 	}
 
+	// With chaos, the recovery store is wrapped in a journal.FaultStore
+	// before any process touches it, so schedule journal-fault steps can
+	// inject errors into exactly the store the cluster saves and loads
+	// through.
+	var chaosJournal *journal.FaultStore
+	if cfg.chaos != nil && cfg.recovery != nil {
+		chaosJournal = journal.NewFaultStore(cfg.recovery)
+		cfg.recovery = chaosJournal
+	}
+
 	c := &Cluster{
 		cfg: cfg,
 		sc:  sc,
@@ -160,6 +187,24 @@ func New(opts ...Option) (*Cluster, error) {
 	}
 
 	hoster, _ := cfg.transport.(memberHoster)
+	if cfg.chaos != nil {
+		c.chaosJournal = chaosJournal
+		c.chaosFaults = chaos.NewFaults(cfg.n, cfg.seed^0x63686173) // "chas"
+		c.chaosDown = make([]bool, cfg.n)
+		c.chaosFloor = make([][]int64, cfg.n)
+		var hosted []bool
+		if hoster != nil {
+			hosted = make([]bool, cfg.n)
+			for id := 0; id < cfg.n; id++ {
+				hosted[id] = hoster.hostsMember(id)
+			}
+		}
+		c.chaosMon = chaos.NewMonitor(chaos.MonitorConfig{
+			N: cfg.n, Bound: cfg.chaosBound, Hosted: hosted,
+		})
+		c.chaosOrch = chaos.NewOrchestrator(*cfg.chaos, chaosInjector{c}, c.chaosMon)
+	}
+
 	for id := 0; id < cfg.n; id++ {
 		if hoster != nil && !hoster.hostsMember(id) {
 			continue // a remote member; its own process builds it
@@ -211,6 +256,11 @@ func checkCapabilities(cfg *config, sc *scenario.Scenario) error {
 	}
 	if cfg.recovery != nil {
 		if err := need(CapRecovery, "WithRecovery"); err != nil {
+			return err
+		}
+	}
+	if cfg.chaos != nil {
+		if err := need(CapChaos, "WithChaos"); err != nil {
 			return err
 		}
 	}
@@ -339,6 +389,23 @@ func (c *Cluster) buildProcess(id int, rejoin bool) error {
 			c.recStats.restores.Add(1)
 		}
 	}
+	if c.chaosMon != nil {
+		if rejoin {
+			at := c.engNow()
+			c.chaosMon.NoteRestart(at, id)
+			if c.cfg.recovery != nil {
+				c.chaosMon.NoteRecovery(at, id, recErr)
+			}
+		}
+		if restore != nil {
+			// Restore-regression invariant: suspicion state is monotone, so
+			// the incarnation must come up with at least the levels its
+			// snapshot recorded. RestoreSnapshot only stages the state (the
+			// node applies it in Start), so the floor is recorded here and
+			// the chaosGuard verifies it right after Start runs.
+			c.chaosFloor[id] = append([]int64(nil), restore.Levels...)
+		}
+	}
 	c.rounders[id], _ = omega.(interface{ Rounds() (int64, int64) })
 	c.timers[id], _ = omega.(interface{ CurrentTimeout() time.Duration })
 
@@ -384,6 +451,11 @@ func (c *Cluster) buildProcess(id int, rejoin bool) error {
 			mux.AddLane(ab)
 		}
 		endpoint = mux
+	}
+	if c.chaosMon != nil {
+		// The delivery-invariant shim, stamped with this incarnation; the
+		// transports register it in place of the bare node.
+		endpoint = &chaosGuard{c: c, id: id, inc: c.incarnations[id], inner: endpoint}
 	}
 	c.endpoints[id] = endpoint
 	return nil
@@ -445,6 +517,15 @@ func (c *Cluster) collect(at time.Duration) {
 			c.lastLeaders[id] = l
 			c.emit(Event{At: at, Kind: EventLeaderChange, Proc: id, Leader: l})
 		}
+	}
+	if c.chaosMon != nil {
+		// Feed the invariant monitor the same sample: remote members read
+		// as up with an unknown leader (the hosted mask keeps them out of
+		// the agreement check; their own process monitors them).
+		for id := 0; id < c.n; id++ {
+			c.chaosDown[id] = c.oracles[id] != nil && c.eng.crashed(id)
+		}
+		c.chaosMon.OnSample(at, ls.Leaders, c.chaosDown)
 	}
 	c.samples = append(c.samples, ls)
 	c.emit(Event{At: at, Kind: EventSample, Proc: None})
@@ -685,6 +766,17 @@ func (c *Cluster) Report() *Report {
 	rep.Timeline = make([]LeaderSample, len(c.samples))
 	for i, s := range c.samples {
 		rep.Timeline[i] = LeaderSample{At: time.Duration(s.At), Leaders: s.Leaders}
+	}
+	if c.chaosOrch != nil {
+		cr := &ChaosReport{TotalViolations: c.chaosMon.ViolationCount()}
+		for _, a := range c.chaosOrch.Timeline() {
+			cr.Timeline = append(cr.Timeline, ChaosApplied{At: a.At, Desc: a.Desc})
+		}
+		cr.StepsApplied = len(cr.Timeline)
+		for _, v := range c.chaosMon.Violations() {
+			cr.Violations = append(cr.Violations, ChaosViolation{At: v.At, Rule: v.Rule, Detail: v.Detail})
+		}
+		rep.Chaos = cr
 	}
 	return rep
 }

@@ -79,6 +79,11 @@ func newLiveEngine(c *Cluster) (*liveEngine, error) {
 	}
 
 	rtCfg := runtime.Config{N: p.N, Delay: delay}
+	if c.chaosFaults != nil {
+		// The chaos link-fault seam: the runtime consults it per send, so
+		// cuts, loss, jitter and slow-node windows land on live links too.
+		rtCfg.Fault = c.chaosFaults
+	}
 	if c.cfg.checkSpread {
 		// Lemma 8 spread checking per delivery. The hook runs on the
 		// receiving process's goroutine with its callback lock held, so
@@ -150,6 +155,22 @@ func newLiveEngine(c *Cluster) (*liveEngine, error) {
 		}))
 	}
 
+	// The chaos timeline, on wall-clock timers: same closed-check/pending
+	// discipline as the schedule timers, so close never tears the runtime
+	// down under a firing action.
+	if c.chaosOrch != nil {
+		for _, a := range c.chaosOrch.Actions() {
+			a := a
+			e.crashTimers = append(e.crashTimers, time.AfterFunc(a.At, func() {
+				if !e.beginScheduled() {
+					return
+				}
+				defer e.pending.Done()
+				a.Fire(e.now())
+			}))
+		}
+	}
+
 	// The sampling goroutine: collect drives the same analysis pipeline
 	// as the simulated transport, at wall-clock granularity.
 	go func() {
@@ -214,6 +235,9 @@ func (e *liveEngine) crash(id int) {
 	e.everCrashedSet[id] = true
 	e.mu.Unlock()
 	e.rt.Crash(id)
+	if e.c.chaosMon != nil {
+		e.c.chaosMon.NoteCrash(e.now(), id)
+	}
 	// Serialize the emission with the sampler's (the collector mutex is
 	// the live transport's observer serialization point).
 	e.c.mu.Lock()

@@ -56,6 +56,12 @@ func newNetEngine(c *Cluster, t *netTransport) (*netEngine, error) {
 	if t.policy != nil {
 		tcfg.Policy = t.policy.faults
 	}
+	if c.chaosFaults != nil {
+		// Chaos link faults compose with any user LinkPolicy: both must
+		// admit, delays add. Each process of a multi-process cluster runs
+		// its own copy of the schedule over its outbound links.
+		tcfg.Policy = tcpnet.ChainPolicies(tcfg.Policy, c.chaosFaults)
+	}
 	tc, err := tcpnet.New(tcfg)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidParams, err)
@@ -108,6 +114,22 @@ func newNetEngine(c *Cluster, t *netTransport) (*netEngine, error) {
 			defer e.pending.Done()
 			e.restart(id)
 		}))
+	}
+
+	// The chaos timeline, on wall-clock timers. Kill/restart steps aimed at
+	// remote members no-op here (crash/restart are IsLocal-guarded); the
+	// member's own process runs the same schedule and executes its share.
+	if c.chaosOrch != nil {
+		for _, a := range c.chaosOrch.Actions() {
+			a := a
+			e.crashTimers = append(e.crashTimers, time.AfterFunc(a.At, func() {
+				if !e.beginScheduled() {
+					return
+				}
+				defer e.pending.Done()
+				a.Fire(e.now())
+			}))
+		}
 	}
 
 	// The sampling goroutine: collect drives the same analysis pipeline as
@@ -186,6 +208,9 @@ func (e *netEngine) crash(id int) {
 	e.everCrashedSet[id] = true
 	e.mu.Unlock()
 	e.tc.Crash(id)
+	if e.c.chaosMon != nil {
+		e.c.chaosMon.NoteCrash(e.now(), id)
+	}
 	e.c.mu.Lock()
 	e.c.emit(Event{At: e.now(), Kind: EventCrash, Proc: id})
 	e.c.mu.Unlock()
@@ -249,6 +274,11 @@ func (e *netEngine) close() error {
 	if e.snapDone != nil {
 		<-e.snapDone
 	}
+	// Drain in-flight link writers with a bounded grace before teardown:
+	// frames already popped from a queue get their write out instead of
+	// racing Stop's connection close (best effort — a dead peer's open
+	// breaker drains immediately).
+	e.tc.Drain(250 * time.Millisecond)
 	e.tc.Stop()
 	return nil
 }

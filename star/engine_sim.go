@@ -81,6 +81,10 @@ func newSimEngine(c *Cluster) (*simEngine, error) {
 	}
 	for _, cr := range c.sc.Crashes {
 		net.CrashAt(cr.ID, cr.At)
+		if c.chaosMon != nil {
+			id, at := cr.ID, cr.At
+			sched.At(at, func() { c.chaosMon.NoteCrash(time.Duration(at), id) })
+		}
 		if c.cfg.observer != nil && c.cfg.observeMask&EventCrash != 0 {
 			id := cr.ID
 			sched.At(cr.At, func() {
@@ -110,6 +114,20 @@ func newSimEngine(c *Cluster) (*simEngine, error) {
 			sched.At(r.At, func() {
 				c.emit(Event{At: time.Duration(sched.Now()), Kind: EventRestart, Proc: id})
 			})
+		}
+	}
+
+	// The chaos timeline, in virtual time: the link-fault state plugs into
+	// the network's send path, and every expanded action fires at its exact
+	// schedule offset inside the event loop — so a chaos run stays a pure
+	// function of (options, seed, schedule).
+	if c.chaosFaults != nil {
+		net.SetLinkFault(c.chaosFaults)
+	}
+	if c.chaosOrch != nil {
+		for _, a := range c.chaosOrch.Actions() {
+			a := a
+			sched.At(sim.Time(a.At), func() { a.Fire(time.Duration(sched.Now())) })
 		}
 	}
 
@@ -182,7 +200,31 @@ func (e *simEngine) crash(id int) {
 	// Cluster.Crash returns. (Scheduled scenario crashes still flow
 	// through CrashAt in virtual time.)
 	e.net.Crash(id)
+	if e.c.chaosMon != nil {
+		e.c.chaosMon.NoteCrash(time.Duration(e.sched.Now()), id)
+	}
 	e.c.emit(Event{At: time.Duration(e.sched.Now()), Kind: EventCrash, Proc: id})
+}
+
+// restart brings a crashed process back immediately — the chaos timeline's
+// path, firing inside the event loop. (Scenario churn restarts still flow
+// through RestartAt in virtual time.)
+func (e *simEngine) restart(id int) {
+	ok := e.net.Restart(id, func() proc.Node {
+		if err := e.c.buildProcess(id, true); err != nil {
+			panic(fmt.Sprintf("star: rebuilding process %d: %v", id, err))
+		}
+		return e.c.endpoints[id]
+	})
+	if !ok {
+		return
+	}
+	if e.c.cfg.recovery != nil {
+		out := e.c.recOutcomes[id]
+		e.c.emit(Event{At: time.Duration(e.sched.Now()), Kind: EventRecovery,
+			Proc: id, Round: out.round, Err: out.err})
+	}
+	e.c.emit(Event{At: time.Duration(e.sched.Now()), Kind: EventRestart, Proc: id})
 }
 
 func (e *simEngine) crashed(id int) bool     { return e.net.Crashed(id) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/journal"
 )
 
@@ -43,6 +44,11 @@ const (
 	// DefaultSnapshotEvery is the recovery-journal cadence when
 	// WithRecovery is set without SnapshotEvery.
 	DefaultSnapshotEvery = 100 * time.Millisecond
+
+	// DefaultChaosBound is the chaos monitor's re-election deadline: after
+	// the last disruption in a WithChaos timeline, a connected majority
+	// must agree on a live leader within this long (see ChaosBound).
+	DefaultChaosBound = 2 * time.Second
 )
 
 // config is the merged option set.
@@ -77,6 +83,9 @@ type config struct {
 	onDecide         func(p int, instance, value int64)
 	abcastEnabled    bool
 	onDeliver        func(p int, d Delivery)
+
+	chaos      *chaos.Schedule
+	chaosBound time.Duration
 }
 
 func defaultConfig() config {
@@ -126,6 +135,20 @@ func (c *config) finish() error {
 	}
 	if c.transport == nil {
 		c.transport = Simulated()
+	}
+	if c.chaos != nil {
+		if err := c.chaos.Validate(c.n); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidParams, err)
+		}
+		if c.chaos.HasJournalFaults() && c.recovery == nil {
+			return fmt.Errorf("%w: chaos journal-fault steps need WithRecovery", ErrInvalidParams)
+		}
+		if c.chaosBound == 0 {
+			c.chaosBound = DefaultChaosBound
+		}
+		if c.chaosBound < 0 {
+			return fmt.Errorf("%w: chaos re-election bound must be positive, got %v", ErrInvalidParams, c.chaosBound)
+		}
 	}
 	return nil
 }

@@ -64,6 +64,10 @@ type Report struct {
 	// without it).
 	Recovery RecoveryStats
 
+	// Chaos carries the WithChaos verdict — applied fault timeline and
+	// invariant-monitor violations — and is nil without WithChaos.
+	Chaos *ChaosReport
+
 	// FinalTimeouts and TimeoutsStable describe the round-timeout series
 	// (core algorithms): the final value per process, and whether every
 	// never-crashed process's series settled.
@@ -98,6 +102,12 @@ type NetStats struct {
 	Dropped   uint64 // messages addressed to crashed processes
 	Bytes     uint64 // encoded size of all sent messages
 
+	// BreakerOpens counts link circuit-breaker opens (Network transport
+	// only): a peer that kept refusing dials tripped a writer into
+	// fast-drop mode. Always zero on the simulated and live transports,
+	// whose links cannot flap.
+	BreakerOpens uint64
+
 	// PerKind breaks traffic down by wire-message kind, densest first;
 	// kinds with no traffic are omitted.
 	PerKind []KindStats
@@ -127,9 +137,22 @@ type RecoveryStats struct {
 func netStatsFromRuntime(s runtime.Stats) NetStats { return netStatsFrom(netsim.Stats(s)) }
 
 // netStatsFromTCP converts the network transport's link taps; tcpnet.Stats
-// is the same mirror, except Bytes there count real framed bytes (payload
-// plus netwire frame overhead) rather than bare payload sizes.
-func netStatsFromTCP(s tcpnet.Stats) NetStats { return netStatsFrom(netsim.Stats(s)) }
+// mirrors netsim.Stats and extends it with socket-only counters, so the
+// shared fields copy through netStatsFrom and the extras ride alongside.
+// (Bytes there count real framed bytes — payload plus netwire frame
+// overhead — rather than bare payload sizes.)
+func netStatsFromTCP(s tcpnet.Stats) NetStats {
+	out := netStatsFrom(netsim.Stats{
+		Sent:      s.Sent,
+		Delivered: s.Delivered,
+		Dropped:   s.Dropped,
+		Bytes:     s.Bytes,
+		ByKind:    s.ByKind,
+		BytesKind: s.BytesKind,
+	})
+	out.BreakerOpens = s.BreakerOpens
+	return out
+}
 
 // netStatsFrom converts the internal counters to the public mirror.
 func netStatsFrom(s netsim.Stats) NetStats {

@@ -34,10 +34,15 @@ const (
 	// snapshot into the new incarnation (WithRecovery), and the engine
 	// drives the periodic snapshot cadence.
 	CapRecovery
+	// CapChaos: the engine can execute a WithChaos fault timeline — link
+	// cuts, loss/jitter/slow-node windows, kill/restart steps and journal
+	// faults fired at schedule offsets on the transport's clock, with the
+	// invariant monitor fed from the collection tick.
+	CapChaos
 )
 
 // capNames, in bit order.
-var capNames = []string{"NetStats", "Churn", "SpreadCheck", "EventBudget", "Determinism", "Recovery"}
+var capNames = []string{"NetStats", "Churn", "SpreadCheck", "EventBudget", "Determinism", "Recovery", "Chaos"}
 
 // String renders the set like "Churn|NetStats", or "none".
 func (c Capability) String() string {
@@ -66,9 +71,9 @@ func (c Capability) Has(want Capability) bool { return c&want == want }
 // cluster additionally rules out the per-delivery spread hook (the check
 // needs a cluster-wide view no single process has).
 const (
-	simCapabilities  = CapNetStats | CapChurn | CapSpreadCheck | CapEventBudget | CapDeterminism | CapRecovery
-	liveCapabilities = CapNetStats | CapChurn | CapSpreadCheck | CapRecovery
-	netCapabilities  = CapNetStats | CapChurn | CapRecovery
+	simCapabilities  = CapNetStats | CapChurn | CapSpreadCheck | CapEventBudget | CapDeterminism | CapRecovery | CapChaos
+	liveCapabilities = CapNetStats | CapChurn | CapSpreadCheck | CapRecovery | CapChaos
+	netCapabilities  = CapNetStats | CapChurn | CapRecovery | CapChaos
 )
 
 // memberHoster is implemented by transports that may host only a subset of
@@ -148,6 +153,10 @@ type engine interface {
 	unlock(id int)
 	// crash crashes process id now.
 	crash(id int)
+	// restart brings a crashed process back as a fresh incarnation now
+	// (no-op when the process is up, not hosted, or the engine cannot
+	// rebuild it). Chaos timelines and churn share this path.
+	restart(id int)
 	// crashed and everCrashed report failure state.
 	crashed(id int) bool
 	everCrashed(id int) bool
