@@ -179,18 +179,113 @@ func BenchmarkQ1GapSweep(b *testing.B) {
 // (experiment Q2-STAB-N). The n=25/51/101 points are the large-n scaling
 // story the zero-allocation protocol layer unlocks: message volume grows
 // quadratically, so per-message allocation dominates everything at these
-// sizes.
+// sizes. The n=251/501/1001 points run shorter virtual horizons — message
+// volume per virtual second grows ~n^2, and stabilization lands well inside
+// even the 300ms horizon — and exist as the flat baseline for
+// BenchmarkFEDScale's hierarchy comparison.
 func BenchmarkQ2Scale(b *testing.B) {
-	for _, n := range []int{3, 5, 9, 13, 25, 51, 101} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+	points := []struct {
+		n   int
+		dur time.Duration
+	}{
+		{3, 5 * time.Second}, {5, 5 * time.Second}, {9, 5 * time.Second},
+		{13, 5 * time.Second}, {25, 5 * time.Second}, {51, 5 * time.Second},
+		{101, 5 * time.Second},
+		{251, 2 * time.Second}, {501, time.Second}, {1001, 300 * time.Millisecond},
+	}
+	for _, p := range points {
+		b.Run(fmt.Sprintf("n=%d", p.n), func(b *testing.B) {
 			benchRun(b, harness.Config{
-				N: n, T: (n - 1) / 2,
+				N: p.n, T: (p.n - 1) / 2,
 				Scenario: star.Combined(),
 				Algo:     harness.AlgoFig3,
-				Duration: 5 * time.Second,
+				Duration: p.dur,
 			})
 		})
 	}
+}
+
+// BenchmarkFEDScale pits the federated hierarchy against a flat cluster of
+// comparable total size (experiment FED). Both sides run **until
+// stabilized**: each iteration re-runs the simulation over doubling virtual
+// horizons until the (global) election reports stable, so ns/op is the
+// wall-clock cost of reaching a stable leader. The flat side starts from a
+// short horizon (its election settles in tens of virtual milliseconds, but
+// every virtual second costs O(n^2) messages); the federated side starts
+// from a longer one (tier-2 handoffs ride atomic broadcast, so global
+// stabilization takes virtual seconds, but each virtual second costs only
+// O(S*M^2 + S^2)). The scaling story is in how ns/op grows with n: ~n^2
+// flat vs ~n at M≈sqrt(n) sharding.
+func BenchmarkFEDScale(b *testing.B) {
+	pairs := []struct {
+		flatN        int
+		shards, size int
+	}{
+		{251, 16, 16},
+		{501, 16, 32},
+		{1001, 32, 32},
+	}
+	for _, p := range pairs {
+		b.Run(fmt.Sprintf("flat/n=%d", p.flatN), func(b *testing.B) {
+			benchUntilStable(b, func(seed uint64, horizon time.Duration) (bool, time.Duration, uint64, error) {
+				res, err := harness.Run(harness.Config{
+					N: p.flatN, T: (p.flatN - 1) / 2, Seed: seed,
+					Scenario: star.Combined(),
+					Algo:     harness.AlgoFig3,
+					Duration: horizon,
+				})
+				if err != nil {
+					return false, 0, 0, err
+				}
+				return res.Report.Stabilized, res.StabilizationTime(), res.Events, nil
+			}, 100*time.Millisecond)
+		})
+		b.Run(fmt.Sprintf("sharded/%dx%d", p.shards, p.size), func(b *testing.B) {
+			benchUntilStable(b, func(seed uint64, horizon time.Duration) (bool, time.Duration, uint64, error) {
+				res, err := harness.RunFed(harness.FedSpec{
+					Shards: p.shards, ShardSize: p.size, Seed: seed,
+					Epoch:    25 * time.Millisecond,
+					Duration: horizon,
+				})
+				if err != nil {
+					return false, 0, 0, err
+				}
+				return res.Federation.TierStabilized, res.Federation.TierStabilization, res.Events, nil
+			}, time.Second)
+		})
+	}
+}
+
+// benchUntilStable drives one try function over doubling virtual horizons
+// (start, 2*start, ...) until it reports stabilization, per iteration.
+func benchUntilStable(b *testing.B, try func(seed uint64, horizon time.Duration) (bool, time.Duration, uint64, error), start time.Duration) {
+	b.Helper()
+	b.ReportAllocs()
+	const maxHorizon = 16 * time.Second
+	var events uint64
+	var stab time.Duration
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i) + 1
+		ok := false
+		for horizon := start; horizon <= maxHorizon; horizon *= 2 {
+			stable, at, ev, err := try(seed, horizon)
+			if err != nil {
+				b.Fatal(err)
+			}
+			events += ev
+			if stable {
+				stab += at
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			b.Fatalf("seed %d: no stabilization within %v", seed, maxHorizon)
+		}
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(events)/n, "events/op")
+	b.ReportMetric(float64(stab.Milliseconds())/n, "stab_ms")
 }
 
 // BenchmarkCHChurn measures the churn preset (experiment CH): rotating

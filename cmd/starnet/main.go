@@ -6,6 +6,19 @@
 //	starnet -topo t.json -member 2            # host member 2 only
 //	starnet -topo t.json -spawn -duration 15s # fork one OS process per member
 //
+// A fourth mode runs a whole federation (star.Federation — S shards of M
+// processes each electing locally, shard leaders delegated into a tier-2
+// cluster that elects the global leader-of-leaders) in this one process,
+// every component cluster on real TCP loopback sockets:
+//
+//	starnet -fed 2x3 -duration 15s            # 2 shards x 3 processes + tier
+//	starnet -fed 2x3 -journal /var/run/fed    # durable: FileJournal per shard + tier
+//
+// With -journal the federation survives process death: SIGKILL the process,
+// re-exec the same command line, and every shard plus the tier restores its
+// protocol state from its on-disk journal (the final FEDREPORT line counts
+// shard_restores and tier_restores).
+//
 // Any mode takes -chaos schedule.json: a fault timeline (star.WithChaos
 // schedule format — partitions, asymmetric cuts, loss/jitter/slow windows,
 // kill/restart steps) executed against the cluster while the continuous
@@ -132,18 +145,34 @@ func (k *killList) Set(s string) error {
 
 func main() {
 	var (
-		topoPath     = flag.String("topo", "", "path to the shared JSON topology file (required)")
+		topoPath     = flag.String("topo", "", "path to the shared JSON topology file (required unless -fed)")
 		member       = flag.Int("member", -1, "host only this member id (default: all members)")
 		spawn        = flag.Bool("spawn", false, "launcher mode: fork one OS process per member")
 		duration     = flag.Duration("duration", 15*time.Second, "run length")
 		until        = flag.Int64("until", 0, "absolute deadline, unix milliseconds (overrides -duration; set by the launcher so re-exec'd members finish with the rest)")
 		restartDelay = flag.Duration("restart-delay", 500*time.Millisecond, "spawn mode: pause between SIGKILL and re-exec")
 		chaosPath    = flag.String("chaos", "", "path to a chaos schedule JSON file (each member executes its share of the fault timeline)")
+		fedShape     = flag.String("fed", "", "federated mode: host an SxM federation (S TCP shards of M processes plus the tier-2 cluster) in this process, e.g. -fed 2x3")
+		fedSeed      = flag.Uint64("seed", 1, "federated mode: base seed")
+		fedJournal   = flag.String("journal", "", "federated mode: directory for durable recovery journals (one per shard plus the tier)")
 		kills        killList
 	)
 	flag.Var(&kills, "kill", "spawn mode: SIGKILL member id's process at time t and re-exec it, as id@t (repeatable)")
 	flag.Parse()
 
+	if *fedShape != "" {
+		if *topoPath != "" || *spawn || *member >= 0 || *chaosPath != "" || len(kills) != 0 {
+			fatal(fmt.Errorf("-fed is standalone (no -topo/-spawn/-member/-chaos/-kill)"))
+		}
+		deadline := time.Now().Add(*duration)
+		if *until != 0 {
+			deadline = time.UnixMilli(*until)
+		}
+		if err := runFedMode(*fedShape, *fedSeed, *fedJournal, deadline); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *topoPath == "" {
 		fatal(fmt.Errorf("-topo is required"))
 	}
@@ -283,6 +312,119 @@ func runMember(topo *topology, member int, deadline time.Time, chaosPath string)
 		rep.Net.Sent, rep.Net.Delivered, rep.Net.Dropped, rep.Net.Bytes,
 		chaosSteps, chaosViolations)
 	return nil
+}
+
+// runFedMode hosts an entire SxM federation in this process: S shard
+// clusters of M members each plus the tier-2 delegate cluster, every one on
+// its own set of TCP loopback sockets (ephemeral ports — all endpoints live
+// here, so nothing needs to pre-agree on addresses). With journalDir set,
+// each shard and the tier get a durable FileJournal, so a SIGKILLed process
+// re-exec'd with the same command line restores both tiers from disk.
+func runFedMode(shape string, seed uint64, journalDir string, deadline time.Time) error {
+	s, m, err := parseShape(shape)
+	if err != nil {
+		return err
+	}
+	loopback := func(n int) []string {
+		addrs := make([]string, n)
+		for i := range addrs {
+			addrs[i] = "127.0.0.1:0"
+		}
+		return addrs
+	}
+	journal := func(name string) ([]star.Option, error) {
+		if journalDir == "" {
+			return nil, nil
+		}
+		rs, err := star.FileJournal(filepath.Join(journalDir, name))
+		if err != nil {
+			return nil, err
+		}
+		return []star.Option{star.WithRecovery(rs), star.SnapshotEvery(250 * time.Millisecond)}, nil
+	}
+	if journalDir != "" {
+		if err := os.MkdirAll(journalDir, 0o755); err != nil {
+			return err
+		}
+	}
+	// Build the per-shard option lists up front so journal errors surface
+	// before any cluster binds a socket.
+	shardOpts := make([][]star.Option, s)
+	for i := 0; i < s; i++ {
+		opts := []star.Option{star.Network(loopback(m))}
+		jopts, err := journal(fmt.Sprintf("shard-%d.journal", i))
+		if err != nil {
+			return err
+		}
+		shardOpts[i] = append(opts, jopts...)
+	}
+	tierOpts := []star.Option{star.Network(loopback(s))}
+	jopts, err := journal("tier.journal")
+	if err != nil {
+		return err
+	}
+	tierOpts = append(tierOpts, jopts...)
+
+	f, err := star.NewFederation(
+		star.FedShape(s, m), star.FedSeed(seed),
+		star.FedEpoch(50*time.Millisecond),
+		star.FedShardOptions(func(shard int) []star.Option { return shardOpts[shard] }),
+		star.FedTierOptions(tierOpts...),
+	)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	start := time.Now()
+	lastStatus := start
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			break
+		}
+		slice := 500 * time.Millisecond
+		if remaining < slice {
+			slice = remaining
+		}
+		if err := f.Run(slice); err != nil {
+			return err
+		}
+		if time.Since(lastStatus) >= time.Second {
+			lastStatus = time.Now()
+			fmt.Printf("STATUS t=%v global=%d\n", time.Since(start).Round(100*time.Millisecond), f.GlobalLeader())
+		}
+	}
+
+	rep := f.Report()
+	fr := rep.Federation
+	fmt.Printf("FEDREPORT shards=%d size=%d global=%d handoffs=%d rejected=%d pressure=%d violations=%d shard_restores=%d shard_fallbacks=%d tier_restores=%d tier_fallbacks=%d\n",
+		fr.Shards, fr.ShardSize, fr.GlobalLeader,
+		fr.Handoffs, fr.RejectedFrames, fr.Pressure, fr.TotalViolations,
+		fr.ShardRecovery.Restores, fr.ShardRecovery.Fallbacks,
+		rep.Recovery.Restores, rep.Recovery.Fallbacks)
+	if fr.GlobalLeader == star.None {
+		return fmt.Errorf("run ended with no global leader")
+	}
+	if fr.TotalViolations != 0 {
+		return fmt.Errorf("%d federation invariant violations", fr.TotalViolations)
+	}
+	return nil
+}
+
+// parseShape parses an SxM federation shape like "2x3".
+func parseShape(shape string) (shards, size int, err error) {
+	sPart, mPart, ok := strings.Cut(shape, "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("want -fed SxM, e.g. 2x3, got %q", shape)
+	}
+	if shards, err = strconv.Atoi(sPart); err != nil {
+		return 0, 0, fmt.Errorf("bad shard count %q: %w", sPart, err)
+	}
+	if size, err = strconv.Atoi(mPart); err != nil {
+		return 0, 0, fmt.Errorf("bad shard size %q: %w", mPart, err)
+	}
+	return shards, size, nil
 }
 
 // childReport is one member process's parsed final REPORT line.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -164,6 +165,112 @@ func TestChaosScheduleSpawn(t *testing.T) {
 	var steps int
 	if _, err := fmt.Sscanf(afterKey(text, "chaos_steps="), "%d", &steps); err != nil || steps < sched.Len() {
 		t.Fatalf("members did not run the schedule (steps=%d, want >=%d):\n%s", steps, sched.Len(), text)
+	}
+}
+
+// TestFedKillRestore is the federated crash-recovery e2e: a whole 2x3
+// federation (two TCP shards plus the tier-2 delegate cluster) runs in one
+// OS process with durable journals, is SIGKILLed mid-run after electing a
+// global leader — no shutdown path, like a machine loss — and then re-exec'd
+// with the same command line. The replacement process must restore BOTH
+// tiers from the on-disk journals (shard_restores and tier_restores in its
+// FEDREPORT) and end with a global leader and zero invariant violations.
+func TestFedKillRestore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e")
+	}
+	journalDir := filepath.Join(t.TempDir(), "journals")
+	args := []string{"-fed", "2x3", "-journal", journalDir, "-seed", "7", "-duration", "60s"}
+
+	// First incarnation: run until a global leader is up and journaled,
+	// then pull the plug.
+	first := starnet(t, args...)
+	out, err := first.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Stderr = os.Stderr
+	if err := first.Start(); err != nil {
+		t.Fatal(err)
+	}
+	elected := false
+	deadline := time.After(45 * time.Second)
+	lines := make(chan string)
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+scan:
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				break scan
+			}
+			t.Logf("[fed-1] %s", line)
+			if strings.HasPrefix(line, "STATUS") && !strings.Contains(line, "global=-1") {
+				elected = true
+				break scan
+			}
+		case <-deadline:
+			break scan
+		}
+	}
+	if !elected {
+		first.Process.Kill()
+		first.Wait()
+		t.Fatal("no global leader before the kill deadline")
+	}
+	// Give the 250ms snapshot cadence a beat to journal the elected state.
+	time.Sleep(time.Second)
+	if err := first.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	first.Wait()
+	for range lines {
+	}
+
+	// Second incarnation: same command line, same journals. Both tiers must
+	// restore rather than rejoin fresh.
+	args[len(args)-1] = "12s"
+	out2, err := starnet(t, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("re-exec'd federation: %v\n%s", err, out2)
+	}
+	text := string(out2)
+	fed := ""
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "FEDREPORT ") {
+			fed = line
+		}
+	}
+	if fed == "" {
+		t.Fatalf("no FEDREPORT line:\n%s", text)
+	}
+	var shardRestores, tierRestores, violations uint64
+	if _, err := fmt.Sscanf(afterKey(fed, "shard_restores="), "%d", &shardRestores); err != nil {
+		t.Fatalf("parsing %q: %v", fed, err)
+	}
+	if _, err := fmt.Sscanf(afterKey(fed, "tier_restores="), "%d", &tierRestores); err != nil {
+		t.Fatalf("parsing %q: %v", fed, err)
+	}
+	if _, err := fmt.Sscanf(afterKey(fed, "violations="), "%d", &violations); err != nil {
+		t.Fatalf("parsing %q: %v", fed, err)
+	}
+	if shardRestores < 1 {
+		t.Fatalf("re-exec'd federation restored no shard state from %s:\n%s", journalDir, text)
+	}
+	if tierRestores < 1 {
+		t.Fatalf("re-exec'd federation restored no tier state from %s:\n%s", journalDir, text)
+	}
+	if violations != 0 {
+		t.Fatalf("federation invariant violations after restore: %s\n%s", fed, text)
+	}
+	if strings.Contains(fed, "global=-1") {
+		t.Fatalf("no global leader after restore: %s\n%s", fed, text)
 	}
 }
 

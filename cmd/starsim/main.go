@@ -9,6 +9,7 @@
 //	go run ./cmd/starsim -family intermittent -algo fig1 -d 4 -duration 60s
 //	go run ./cmd/starsim -n 9 -t 4 -algo fig3 -crash 2@3s -crash 5@6s
 //	go run ./cmd/starsim -family tsource -algo timefree -seed 7 -timeline
+//	go run ./cmd/starsim -fed 8x16 -duration 10s          # federated two-tier run
 package main
 
 import (
@@ -69,6 +70,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		spread   = flag.Bool("checkspread", false, "verify the Lemma 8 invariant on every delivery")
 		timeline = flag.Bool("timeline", false, "print the leader timeline (changes only)")
+		fed      = flag.String("fed", "", "federated mode: simulate an SxM federation (S shards of M processes plus a tier-2 delegate cluster), e.g. -fed 8x16")
 		crashes  crashList
 	)
 	flag.Var(&crashes, "crash", "crash schedule entry id@time (repeatable), e.g. -crash 2@3s")
@@ -77,6 +79,12 @@ func main() {
 	algorithm, err := star.ParseAlgorithm(*algo)
 	if err != nil {
 		fatal(err)
+	}
+	if *fed != "" {
+		if err := runFed(*fed, algorithm, *seed, *duration); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	scOpts := []star.ScenarioOption{
 		star.Center(*center),
@@ -151,6 +159,70 @@ func main() {
 			}
 		}
 	}
+}
+
+// runFed simulates a whole federation (star.Federation): S shards of M
+// processes each electing locally, shard leaders delegated into a tier-2
+// cluster whose election names the global leader-of-leaders. Deterministic:
+// the same shape, algorithm and seed reproduce the report byte for byte.
+func runFed(shape string, algorithm star.Algo, seed uint64, duration time.Duration) error {
+	sPart, mPart, ok := strings.Cut(shape, "x")
+	if !ok {
+		return fmt.Errorf("want -fed SxM, e.g. 8x16, got %q", shape)
+	}
+	shards, err := strconv.Atoi(sPart)
+	if err != nil {
+		return fmt.Errorf("bad shard count %q: %w", sPart, err)
+	}
+	size, err := strconv.Atoi(mPart)
+	if err != nil {
+		return fmt.Errorf("bad shard size %q: %w", mPart, err)
+	}
+	f, err := star.NewFederation(
+		star.FedShape(shards, size), star.FedSeed(seed),
+		star.FedShardOptions(func(int) []star.Option {
+			return []star.Option{star.Algorithm(algorithm)}
+		}),
+		star.FedTierOptions(star.Algorithm(algorithm)),
+	)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	wall := time.Now()
+	if err := f.Run(duration); err != nil {
+		return err
+	}
+	elapsed := time.Since(wall)
+	rep := f.Report()
+	fr := rep.Federation
+
+	fmt.Printf("federation %d shards x %d processes = %d total, tier of %d delegates\n",
+		fr.Shards, fr.ShardSize, fr.Shards*fr.ShardSize, fr.Shards)
+	fmt.Printf("system     seed=%d algorithm=%s for %v of virtual time (%v wall)\n",
+		seed, algorithm, duration, elapsed.Round(time.Millisecond))
+	fmt.Println()
+	if fr.TierStabilized {
+		fmt.Printf("GLOBAL     process %d (shard %d) at %v (stable through the end)\n",
+			fr.GlobalLeader, fr.GlobalLeader/fr.ShardSize, fr.TierStabilization)
+	} else {
+		fmt.Println("NO STABLE GLOBAL LEADER")
+	}
+	fmt.Printf("shards     leaders at end: %v\n", fr.ShardLeaders)
+	fmt.Printf("handoffs   %d issued, %d superseded frames rejected, %d pressure deposals\n",
+		fr.Handoffs, fr.RejectedFrames, fr.Pressure)
+	fmt.Printf("timeline   %d global-leader changes over %d samples\n", fr.GlobalChanges, fr.Samples)
+	fmt.Printf("invariants %d violations\n", fr.TotalViolations)
+	for _, v := range fr.Violations {
+		fmt.Printf("           at=%v rule=%s detail=%q\n", v.At, v.Rule, v.Detail)
+	}
+	events := f.Tier().Metrics().Events
+	for i := 0; i < f.Shards(); i++ {
+		events += f.Shard(i).Metrics().Events
+	}
+	fmt.Printf("events     %d simulator events across %d clusters\n", events, f.Shards()+1)
+	return nil
 }
 
 func fatal(err error) {

@@ -129,9 +129,16 @@ func NewPair(cfg Config) (*Node, *consensus.Node, error) {
 	return n, cons, nil
 }
 
-// Start implements proc.Node.
+// Start implements proc.Node. The local-id sequence is seeded from the
+// start time so a restarted incarnation allocates keys disjoint from its
+// predecessor's: ids are (start nanoseconds + count), a restart strictly
+// postdates every broadcast of the prior incarnation, and 48 bits of key
+// space hold nanosecond counts for ~3 days of run. Without this a fresh
+// incarnation would reuse (sender, 1), which peers have already seen —
+// the diffusion lane would drop the new payload as a duplicate.
 func (n *Node) Start(env proc.Env) {
 	n.env = env
+	n.nextLocalID = int64(env.Now())
 	env.SetTimer(timerPropose, n.cfg.ProposePeriod)
 }
 

@@ -104,6 +104,19 @@ type Node struct {
 	// already ran (see Config.JoinCurrentRound).
 	joined bool
 
+	// Running extrema of suspLevel, maintained incrementally so the hot
+	// paths never rescan the array: levels never decrease within an
+	// incarnation, so maxLevel is exact forever, and minLevel/minCount
+	// (the current minimum and how many entries hold it) only need an
+	// O(n) rescan when the global minimum itself increases — which
+	// happens at most B+1 times per run (Theorem 4), so the amortized
+	// per-event cost is O(1). minTestOK (line "**", per suspect per
+	// SUSPICION) and roundTimeout (line 11, per completed round) were
+	// ~15-30% of large-n CPU as full scans.
+	minLevel int64
+	minCount int
+	maxLevel int64
+
 	// maxRoundSeen is the newest round appearing in any received
 	// message; drives Retention pruning.
 	maxRoundSeen int64
@@ -153,6 +166,7 @@ func NewNode(id proc.ID, cfg Config) (*Node, error) {
 	n := &Node{
 		cfg:         cfg,
 		suspLevel:   make([]int64, cfg.N),
+		minCount:    cfg.N,
 		win:         rounds.New(cfg.N, cfg.WindowSlots),
 		prunedBelow: 1,
 		retention:   cfg.Retention,
@@ -220,6 +234,7 @@ func (n *Node) applySnapshot(s *journal.Snapshot) {
 			n.metrics.MaxSuspLevel = v
 		}
 	}
+	n.rescanExtrema()
 	if s.MaxRoundSeen > n.maxRoundSeen {
 		n.maxRoundSeen = s.MaxRoundSeen
 	}
@@ -287,15 +302,15 @@ func (n *Node) RestoreSnapshot(s *journal.Snapshot) error {
 func (n *Node) OnCrash() { n.crashed = true }
 
 // Leader implements the paper's leader() primitive (lines 19-21): the
-// process with the lexicographically smallest (susp_level, id) pair.
+// process with the lexicographically smallest (susp_level, id) pair —
+// i.e. the lowest id currently holding the minimum level.
 func (n *Node) Leader() proc.ID {
-	best := 0
-	for j := 1; j < n.cfg.N; j++ {
-		if n.suspLevel[j] < n.suspLevel[best] {
-			best = j
+	for j := 0; j < n.cfg.N; j++ {
+		if n.suspLevel[j] == n.minLevel {
+			return proc.ID(j)
 		}
 	}
-	return best
+	return 0 // unreachable: minLevel is always held by someone
 }
 
 // SuspLevel returns a copy of the susp_level array (for checkers).
@@ -470,18 +485,13 @@ func (n *Node) windowTestOK(rn int64, k int) bool {
 }
 
 // minTestOK evaluates line "**": susp_level[k] must currently be the array
-// minimum. Only Figure 3 and the §7 variant apply it.
+// minimum. Only Figure 3 and the §7 variant apply it. O(1): the running
+// minimum is maintained by setSuspLevel.
 func (n *Node) minTestOK(k int) bool {
 	if n.cfg.Variant != VariantFig3 && n.cfg.Variant != VariantFG {
 		return true
 	}
-	min := n.suspLevel[0]
-	for _, v := range n.suspLevel[1:] {
-		if v < min {
-			min = v
-		}
-	}
-	return n.suspLevel[k] <= min
+	return n.suspLevel[k] <= n.minLevel
 }
 
 // checkGuard evaluates the line-8 guard and completes as many receiving
@@ -524,13 +534,7 @@ func (n *Node) checkGuard() {
 // roundTimeout computes the line-11 timer value: max susp_level, scaled,
 // plus G(r_rn+1) for the §7 variant, floored by MinTimeout.
 func (n *Node) roundTimeout() time.Duration {
-	max := n.suspLevel[0]
-	for _, v := range n.suspLevel[1:] {
-		if v > max {
-			max = v
-		}
-	}
-	d := time.Duration(max) * n.timeoutUnit
+	d := time.Duration(n.maxLevel) * n.timeoutUnit
 	if n.cfg.Variant == VariantFG {
 		d += n.cfg.G(n.rRN + 1)
 	}
@@ -566,18 +570,60 @@ func (n *Node) recFromRow(rn int64) *rounds.Row {
 }
 
 // setSuspLevel raises susp_level[k] to v (values never decrease; line 5
-// merges by max and line 17 increments).
+// merges by max and line 17 increments), maintaining the running extrema.
 func (n *Node) setSuspLevel(k int, v int64) {
-	if v <= n.suspLevel[k] {
+	old := n.suspLevel[k]
+	if v <= old {
 		return
 	}
 	n.suspLevel[k] = v
+	if v > n.maxLevel {
+		n.maxLevel = v
+	}
+	if old == n.minLevel {
+		if n.minCount--; n.minCount == 0 {
+			n.rescanMin()
+		}
+	}
 	if v > n.metrics.MaxSuspLevel {
 		n.metrics.MaxSuspLevel = v
 	}
 	if n.cfg.OnIncrement != nil {
 		n.cfg.OnIncrement(k, v)
 	}
+}
+
+// rescanMin recomputes minLevel/minCount after the last minimum-holding
+// entry was raised. Runs only when the global minimum increases — at most
+// B+1 times per run — so the scan amortizes to O(1) per event.
+func (n *Node) rescanMin() {
+	min := n.suspLevel[0]
+	for _, v := range n.suspLevel[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	count := 0
+	for _, v := range n.suspLevel {
+		if v == min {
+			count++
+		}
+	}
+	n.minLevel = min
+	n.minCount = count
+}
+
+// rescanExtrema recomputes all running extrema from scratch (snapshot
+// restore is the only path that writes suspLevel without setSuspLevel).
+func (n *Node) rescanExtrema() {
+	n.rescanMin()
+	max := n.suspLevel[0]
+	for _, v := range n.suspLevel[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	n.maxLevel = max
 }
 
 // noteRound tracks the newest round seen in any message, for pruning.

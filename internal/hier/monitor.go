@@ -1,0 +1,132 @@
+package hier
+
+import (
+	"fmt"
+	"time"
+)
+
+// Monitor rule names (stable strings, reported in violations).
+const (
+	// RuleGlobalLiveness: a majority-of-shards healthy component held for
+	// longer than the bound without the federation electing a global
+	// leader.
+	RuleGlobalLiveness = "global-liveness"
+	// RuleStaleGlobal: the standing global leader named a shard whose own
+	// election had settled on a different leader for longer than the
+	// bound (the handoff pipeline wedged).
+	RuleStaleGlobal = "stale-global"
+)
+
+// Violation is one federation invariant breach.
+type Violation struct {
+	At     time.Duration
+	Rule   string
+	Detail string
+}
+
+// Monitor checks the two invariants a federation owes its users,
+// continuously, from the same epoch samples that feed the Tracker:
+//
+//  1. Liveness: while a majority of shards are healthy (their own election
+//     agreed on a leader), the federation must elect a global leader
+//     within the bound.
+//
+//  2. Consistency: a standing global leader must not name a shard whose
+//     own agreed leader has differed from the committed delegate for
+//     longer than the bound — handoffs may lag, but not wedge.
+//
+// Both rules are deadline-with-hysteresis: the clock starts when the bad
+// condition appears, resets when it clears, and fires one violation per
+// continuous breach window (re-arming only after the condition clears).
+//
+// Monitor is not safe for concurrent use; the federation serializes access.
+type Monitor struct {
+	shards int
+	bound  time.Duration
+
+	livenessSince time.Duration // when majority-healthy-without-leader began
+	livenessArmed bool
+	livenessFired bool
+
+	staleSince time.Duration // when global-leader-vs-shard divergence began
+	staleArmed bool
+	staleFired bool
+
+	violations []Violation
+	total      uint64
+}
+
+// NewMonitor returns a monitor for a federation of the given width; bound
+// is the re-election deadline (how long either bad condition may persist).
+func NewMonitor(shards int, bound time.Duration) *Monitor {
+	return &Monitor{shards: shards, bound: bound}
+}
+
+// maxViolations caps the retained violation list (the counter keeps
+// counting past it).
+const maxViolations = 64
+
+func (m *Monitor) violate(at time.Duration, rule, detail string) {
+	m.total++
+	if len(m.violations) < maxViolations {
+		m.violations = append(m.violations, Violation{At: at, Rule: rule, Detail: detail})
+	}
+}
+
+// OnSample feeds one epoch observation: the per-shard agreed leaders
+// (shardLeaders[s] is None while shard s's own election is unsettled) and
+// the sampled global leader (flat id, None when absent). shardSize
+// converts the global flat id back to (shard, local) for the consistency
+// rule.
+func (m *Monitor) OnSample(at time.Duration, shardLeaders []int, global, shardSize int) {
+	// Rule 1: majority of shards healthy, no global leader.
+	healthy := 0
+	for _, l := range shardLeaders {
+		if l != None {
+			healthy++
+		}
+	}
+	if healthy > m.shards/2 && global == None {
+		if !m.livenessArmed {
+			m.livenessArmed = true
+			m.livenessSince = at
+		} else if !m.livenessFired && at-m.livenessSince > m.bound {
+			m.livenessFired = true
+			m.violate(at, RuleGlobalLiveness,
+				fmt.Sprintf("%d/%d shards healthy since %v with no global leader", healthy, m.shards, m.livenessSince))
+		}
+	} else {
+		m.livenessArmed = false
+		m.livenessFired = false
+	}
+
+	// Rule 2: standing global leader diverged from its shard's election.
+	diverged := false
+	if global != None && shardSize > 0 {
+		shard := global / shardSize
+		local := global % shardSize
+		if shard < len(shardLeaders) {
+			if sl := shardLeaders[shard]; sl != None && sl != local {
+				diverged = true
+				if !m.staleArmed {
+					m.staleArmed = true
+					m.staleSince = at
+				} else if !m.staleFired && at-m.staleSince > m.bound {
+					m.staleFired = true
+					m.violate(at, RuleStaleGlobal,
+						fmt.Sprintf("global leader %d (shard %d local %d) but shard elected %d since %v",
+							global, shard, local, sl, m.staleSince))
+				}
+			}
+		}
+	}
+	if !diverged {
+		m.staleArmed = false
+		m.staleFired = false
+	}
+}
+
+// Violations returns the retained breach list (capped); Total counts every
+// breach window observed.
+func (m *Monitor) Violations() []Violation { return m.violations }
+func (m *Monitor) Total() uint64           { return m.total }

@@ -1,0 +1,52 @@
+package hier
+
+import "time"
+
+// Tracker folds the per-epoch global-leader samples into the federation's
+// tier-stabilization verdict: when the current leader-of-leaders took hold
+// (the time of the last change to a non-None leader) and how often the
+// global leader changed across the run.
+//
+// Tracker is not safe for concurrent use; the federation serializes access.
+type Tracker struct {
+	cur        int // current global leader (flat id), None when unknown
+	changes    int
+	samples    int
+	lastChange time.Duration
+	everSet    bool
+}
+
+// NewTracker returns an empty timeline (no leader).
+func NewTracker() *Tracker { return &Tracker{cur: None} }
+
+// Sample records the global leader observed at federation time at (None
+// when the tier has no agreed leader, or its shard no committed delegate).
+// Reports whether the sample changed the current leader.
+func (t *Tracker) Sample(at time.Duration, leader int) bool {
+	t.samples++
+	if leader == t.cur {
+		return false
+	}
+	t.cur = leader
+	t.changes++
+	t.lastChange = at
+	if leader != None {
+		t.everSet = true
+	}
+	return true
+}
+
+// Current returns the global leader as of the last sample (None when
+// unknown).
+func (t *Tracker) Current() int { return t.cur }
+
+// Stabilization returns the tier verdict: whether the federation currently
+// holds a global leader, and the time that leader took hold (meaningful
+// only when stabilized).
+func (t *Tracker) Stabilization() (at time.Duration, stabilized bool) {
+	return t.lastChange, t.cur != None
+}
+
+// Changes counts global-leader changes observed; Samples the observations.
+func (t *Tracker) Changes() int { return t.changes }
+func (t *Tracker) Samples() int { return t.samples }

@@ -156,6 +156,7 @@ type Network struct {
 	preStart    [][]*Envelope // messages arrived before the receiver started
 	nextSeq     uint64
 	stats       Stats
+	churnEpoch  uint64 // bumped on every crash/restart; see ChurnEpoch
 
 	// envFree is the envelope free list; chainBuf is the reusable BFS
 	// queue of deliverChain. Both exist to keep the delivery hot path
@@ -341,6 +342,7 @@ func (n *Network) crashNow(id proc.ID) {
 	}
 	n.crashed[id] = true
 	n.everCrashed[id] = true
+	n.churnEpoch++
 	// Disarm all of the process's timers.
 	for key, ev := range n.envs[id].timers {
 		n.sched.Cancel(ev)
@@ -362,6 +364,12 @@ func (n *Network) crashNow(id proc.ID) {
 
 // Crashed reports whether process id is currently crashed (down).
 func (n *Network) Crashed(id proc.ID) bool { return n.crashed[id] }
+
+// ChurnEpoch counts crash and restart events so far. Any value derived from
+// the crashed set (like the winning gate's losable-message budget) stays
+// valid for as long as the epoch does not change, which lets hot paths cache
+// it instead of rescanning every process per event.
+func (n *Network) ChurnEpoch() uint64 { return n.churnEpoch }
 
 // EverCrashed reports whether process id has crashed at any point, even if a
 // later RestartAt brought a fresh incarnation up. Correctness checkers use
@@ -409,6 +417,7 @@ func (n *Network) restartNow(id proc.ID, factory func() proc.Node) {
 	}
 	n.crashed[id] = false
 	n.started[id] = false
+	n.churnEpoch++
 	n.nodes[id] = node
 	n.startNow(id)
 }

@@ -66,6 +66,15 @@ type winningGate struct {
 	// current leader (the chase target); see SetLeaderProbe.
 	leaderProbe func() proc.ID
 
+	// epochProbe, when set, returns the network's churn epoch (bumped on
+	// every crash/restart). The lose budget depends only on the crashed
+	// set, so its value is cached per epoch instead of rescanning all n
+	// processes on every arrival and delivery.
+	epochProbe  func() uint64
+	cachedEpoch uint64
+	budgetValid bool
+	budget      int
+
 	state      []*rounds.Ring[gateEntry] // per receiver, indexed by rn
 	loseHeld   []holdHeap                // per receiver
 	lastBudget int
@@ -161,6 +170,13 @@ func newWinningGate(p Params, schedule StarSchedule, tag TagFunc, alpha int) *wi
 // at most n - alpha - crashed senders can be held back. The center's lose
 // constraint has priority rank 1, the rotating victim rank 2.
 func (g *winningGate) loseBudget() int {
+	if g.epochProbe != nil {
+		if ep := g.epochProbe(); g.budgetValid && ep == g.cachedEpoch {
+			return g.budget
+		} else {
+			g.cachedEpoch = ep
+		}
+	}
 	crashed := 0
 	if g.crashed != nil {
 		for id := 0; id < g.params.N; id++ {
@@ -169,7 +185,10 @@ func (g *winningGate) loseBudget() int {
 			}
 		}
 	}
-	return g.params.N - g.params.Alpha - crashed
+	b := g.params.N - g.params.Alpha - crashed
+	g.budget = b
+	g.budgetValid = true
+	return b
 }
 
 // stale reports whether round rn is too far behind the frontier for its

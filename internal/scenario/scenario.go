@@ -164,6 +164,17 @@ func (s *Scenario) SetCrashedProbe(crashed func(proc.ID) bool) {
 	}
 }
 
+// SetChurnEpochProbe installs the network's churn-epoch counter
+// (netsim.Network.ChurnEpoch): the gate caches its crash-dependent lose
+// budget per epoch so the per-arrival cost drops from O(n) to O(1). Purely
+// an optimization — with or without the probe the computed budgets are
+// identical, so determinism is unaffected.
+func (s *Scenario) SetChurnEpochProbe(probe func() uint64) {
+	if s.gate != nil {
+		s.gate.epochProbe = probe
+	}
+}
+
 // GateStats returns how many messages the order gate held under the winning
 // constraint and under the lose constraint (0,0 when the scenario has no
 // gate). Useful to verify the adversary/assumption machinery actually

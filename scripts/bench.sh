@@ -189,7 +189,10 @@ out="${1:-BENCH_2.json}"
 bench="${BENCH:-.}"
 benchtime="${BENCHTIME:-3x}"
 
-go test -run '^$' -bench "$bench" -benchmem -benchtime "$benchtime" . |
+# -timeout 0: the scale sweeps (Q2Scale n=1001, FEDScale) legitimately run
+# for tens of minutes at the default 3x; the stock 10m test timeout would
+# kill the binary mid-suite.
+go test -run '^$' -bench "$bench" -benchmem -benchtime "$benchtime" -timeout 0 . |
 	tee /dev/stderr |
 	awk '
 		BEGIN { print "["; sep = "" }

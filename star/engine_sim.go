@@ -42,6 +42,7 @@ func newSimEngine(c *Cluster) (*simEngine, error) {
 	// lose adversaries observe the system through these; consumers of the
 	// public API never see them.
 	c.sc.SetCrashedProbe(net.Crashed)
+	c.sc.SetChurnEpochProbe(net.ChurnEpoch)
 	c.sc.SetRoundProbe(func(q proc.ID) int64 {
 		if rd := c.rounders[q]; rd != nil {
 			_, r := rd.Rounds()

@@ -35,6 +35,11 @@ const (
 	// to the fresh-start + JoinCurrentRound path); Err carries the typed
 	// failure (wrapping ErrCorruptJournal) when the journal was damaged.
 	EventRecovery
+	// EventGlobalLeader fires when a federation's leader-of-leaders
+	// changes (Federation runs only; see FedObserve). Proc is the leading
+	// shard (None when the global leader was lost), Leader the new global
+	// leader as a flat process id (shard*shardSize + local; None on loss).
+	EventGlobalLeader
 
 	// EventAll selects every event class.
 	EventAll EventKind = 1<<iota - 1

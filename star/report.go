@@ -68,6 +68,11 @@ type Report struct {
 	// invariant-monitor violations — and is nil without WithChaos.
 	Chaos *ChaosReport
 
+	// Federation carries the two-tier summary on reports produced by
+	// Federation.Report (nil on plain cluster reports). The surrounding
+	// Report then describes the tier cluster — the delegate election.
+	Federation *FederationReport
+
 	// FinalTimeouts and TimeoutsStable describe the round-timeout series
 	// (core algorithms): the final value per process, and whether every
 	// never-crashed process's series settled.
