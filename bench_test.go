@@ -288,6 +288,53 @@ func benchUntilStable(b *testing.B, try func(seed uint64, horizon time.Duration)
 	b.ReportMetric(float64(stab.Milliseconds())/n, "stab_ms")
 }
 
+// BenchmarkFedLane measures the global application lanes (DESIGN.md §11):
+// each iteration runs a federation with the lanes up and drives waves of
+// cross-shard broadcasts through the full routing path — shard lane → tier
+// total order → back down every shard's lane — sequentially and with the
+// fork/join epoch loop on every CPU. The seq/forkjoin pairs replay the
+// identical global sequence; their wall-time gap is the parallelism win.
+func BenchmarkFedLane(b *testing.B) {
+	shapes := []struct {
+		shards, size, workers int
+		label                 string
+	}{
+		{4, 8, 0, "4x8/seq"},
+		{4, 8, -1, "4x8/forkjoin"},
+		{8, 16, 0, "8x16/seq"},
+		{8, 16, -1, "8x16/forkjoin"},
+	}
+	for _, sh := range shapes {
+		b.Run(sh.label, func(b *testing.B) {
+			b.ReportAllocs()
+			var events, entries uint64
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := harness.RunFed(harness.FedSpec{
+					Shards: sh.shards, ShardSize: sh.size, Seed: uint64(i) + 1,
+					Epoch: 25 * time.Millisecond, Duration: 6 * time.Second,
+					Traffic: 4, Workers: sh.workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.GlobalAgree {
+					b.Fatal("members disagree on the global sequence")
+				}
+				entries += uint64(res.GlobalSeq)
+				events += res.Events
+				elapsed += res.Elapsed
+			}
+			n := float64(b.N)
+			b.ReportMetric(float64(entries)/n, "gseq/op")
+			b.ReportMetric(float64(events)/n, "events/op")
+			if elapsed > 0 {
+				b.ReportMetric(float64(events)/elapsed.Seconds(), "vevents/s")
+			}
+		})
+	}
+}
+
 // BenchmarkCHChurn measures the churn preset (experiment CH): rotating
 // crash/recovery, late-message floods and ring-window evictions under
 // adversarial round skew.

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Analyze mode (-analyze <dir>): read a paper run archived by -out / -grid
+// (a directory of <ID>[-repN].csv tables) and emit one aggregated markdown
+// document — per experiment, the repeats collapse into a single table whose
+// numeric cells read mean±spread (spread = half the min..max range across
+// seeds) and whose label cells stay verbatim. Redirect the output to
+// regenerate EXPERIMENTS.md:
+//
+//	go run ./cmd/experiments -grid scripts/experiments.json
+//	go run ./cmd/experiments -analyze paper_runs/<stamp> > EXPERIMENTS.md
+
+// repeatTable is one archived CSV: the params header plus the table.
+type repeatTable struct {
+	id, name, seed string
+	header         []string
+	rows           [][]string
+}
+
+var repSuffix = regexp.MustCompile(`-rep\d+$`)
+
+// runAnalyze aggregates every repeat table under dir and prints the
+// document to stdout.
+func runAnalyze(dir string) error {
+	files, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no CSV tables under %s (run with -out or -grid first)", dir)
+	}
+	sort.Strings(files)
+
+	groups := make(map[string][]repeatTable)
+	for _, f := range files {
+		rt, err := parseRepeat(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		groups[rt.id] = append(groups[rt.id], rt)
+	}
+
+	// Present experiments in suite order; unknown ids sort after, by name.
+	rank := make(map[string]int)
+	for i, id := range []string{"F1", "F2", "F3", "F4", "T5", "C1", "Q1", "Q2", "Q3", "A1", "CH", "FED"} {
+		rank[id] = i
+	}
+	ids := make([]string, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		ri, iok := rank[ids[i]]
+		rj, jok := rank[ids[j]]
+		if iok != jok {
+			return iok
+		}
+		if iok && jok && ri != rj {
+			return ri < rj
+		}
+		return ids[i] < ids[j]
+	})
+
+	fmt.Printf("# Experiments\n\n")
+	fmt.Printf("Aggregated from the paper run archived under `%s` — every table below\n", dir)
+	fmt.Printf("collapses that experiment's repeats (independent seeds) into one row set:\n")
+	fmt.Printf("numeric cells read mean±spread across the seeds (spread = half the\n")
+	fmt.Printf("min..max range; omitted when the repeats agree exactly), label cells are\n")
+	fmt.Printf("verbatim. Regenerate with:\n\n")
+	fmt.Printf("```\ngo run ./cmd/experiments -grid scripts/experiments.json\ngo run ./cmd/experiments -analyze %s > EXPERIMENTS.md\n```\n\n", dir)
+
+	for _, id := range ids {
+		g := groups[id]
+		var seeds []string
+		for _, rt := range g {
+			seeds = append(seeds, rt.seed)
+		}
+		fmt.Printf("## %s — %s\n\n", id, g[0].name)
+		tb, err := aggregateGroup(g)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		fmt.Println(tb.Markdown())
+		fmt.Printf("_(%d repeat(s), seed %s)_\n\n", len(g), strings.Join(seeds, ", "))
+	}
+	return nil
+}
+
+// parseRepeat reads one archived CSV: "# key=value" params, then the table.
+func parseRepeat(path string) (repeatTable, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return repeatTable{}, err
+	}
+	rt := repeatTable{
+		id: repSuffix.ReplaceAllString(strings.TrimSuffix(filepath.Base(path), ".csv"), ""),
+	}
+	lines := strings.Split(string(raw), "\n")
+	var body []string
+	for _, line := range lines {
+		if strings.HasPrefix(line, "# ") {
+			if k, v, ok := strings.Cut(strings.TrimPrefix(line, "# "), "="); ok {
+				switch k {
+				case "name":
+					rt.name = v
+				case "seed":
+					rt.seed = v
+				}
+			}
+			continue
+		}
+		body = append(body, line)
+	}
+	recs, err := csv.NewReader(strings.NewReader(strings.Join(body, "\n"))).ReadAll()
+	if err != nil {
+		return repeatTable{}, err
+	}
+	if len(recs) < 2 {
+		return repeatTable{}, fmt.Errorf("no data rows")
+	}
+	rt.header, rt.rows = recs[0], recs[1:]
+	return rt, nil
+}
+
+// aggregateGroup collapses one experiment's repeats into a single table.
+// Repeats must agree on shape (same header, same row count): each run is a
+// deterministic function of its seed over the same configuration grid.
+func aggregateGroup(g []repeatTable) (*table, error) {
+	first := g[0]
+	for _, rt := range g[1:] {
+		if strings.Join(rt.header, ",") != strings.Join(first.header, ",") {
+			return nil, fmt.Errorf("repeats disagree on columns (%v vs %v)", rt.header, first.header)
+		}
+		if len(rt.rows) != len(first.rows) {
+			return nil, fmt.Errorf("repeats disagree on row count (%d vs %d)", len(rt.rows), len(first.rows))
+		}
+	}
+	tb := newTable(first.header...)
+	for r := range first.rows {
+		row := make([]any, len(first.header))
+		for c := range first.header {
+			cells := make([]string, 0, len(g))
+			for _, rt := range g {
+				if c < len(rt.rows[r]) {
+					cells = append(cells, rt.rows[r][c])
+				}
+			}
+			row[c] = aggregateCell(cells)
+		}
+		tb.AddRow(row...)
+	}
+	return tb, nil
+}
+
+// aggregateCell renders one cell across repeats: verbatim when they agree,
+// mean±spread when they are all numeric or all durations, and a "/"-joined
+// value list otherwise (e.g. a verdict that flipped under one seed).
+func aggregateCell(cells []string) string {
+	same := true
+	for _, c := range cells[1:] {
+		if c != cells[0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		return cells[0]
+	}
+	if vals, ok := parseAll(cells, func(s string) (float64, error) {
+		return strconv.ParseFloat(s, 64)
+	}); ok {
+		mean, spread := meanSpread(vals)
+		return fmt.Sprintf("%s±%s", trimFloat(mean), trimFloat(spread))
+	}
+	if vals, ok := parseAll(cells, func(s string) (float64, error) {
+		d, err := time.ParseDuration(s)
+		return float64(d), err
+	}); ok {
+		mean, spread := meanSpread(vals)
+		return fmt.Sprintf("%s±%s",
+			time.Duration(mean).Round(time.Millisecond),
+			time.Duration(spread).Round(time.Millisecond))
+	}
+	uniq := cells[:1:1]
+	for _, c := range cells[1:] {
+		found := false
+		for _, u := range uniq {
+			found = found || u == c
+		}
+		if !found {
+			uniq = append(uniq, c)
+		}
+	}
+	return strings.Join(uniq, "/")
+}
+
+func parseAll(cells []string, parse func(string) (float64, error)) ([]float64, bool) {
+	vals := make([]float64, len(cells))
+	for i, c := range cells {
+		v, err := parse(c)
+		if err != nil {
+			return nil, false
+		}
+		vals[i] = v
+	}
+	return vals, true
+}
+
+func meanSpread(vals []float64) (mean, spread float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		mean += v
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	return mean / float64(len(vals)), (hi - lo) / 2
+}
+
+// trimFloat renders a float compactly: integers bare, else two decimals.
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}

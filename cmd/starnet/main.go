@@ -13,6 +13,7 @@
 //
 //	starnet -fed 2x3 -duration 15s            # 2 shards x 3 processes + tier
 //	starnet -fed 2x3 -journal /var/run/fed    # durable: FileJournal per shard + tier
+//	starnet -fed 2x3 -traffic 4 -duration 20s # + global-lane broadcasts through the tier
 //
 // With -journal the federation survives process death: SIGKILL the process,
 // re-exec the same command line, and every shard plus the tier restores its
@@ -155,6 +156,7 @@ func main() {
 		fedShape     = flag.String("fed", "", "federated mode: host an SxM federation (S TCP shards of M processes plus the tier-2 cluster) in this process, e.g. -fed 2x3")
 		fedSeed      = flag.Uint64("seed", 1, "federated mode: base seed")
 		fedJournal   = flag.String("journal", "", "federated mode: directory for durable recovery journals (one per shard plus the tier)")
+		fedTraffic   = flag.Int("traffic", 0, "federated mode: drive N waves of global-lane broadcasts (one per shard per wave) once a global leader stands; the FEDREPORT line gains the lane verdict")
 		kills        killList
 	)
 	flag.Var(&kills, "kill", "spawn mode: SIGKILL member id's process at time t and re-exec it, as id@t (repeatable)")
@@ -168,7 +170,7 @@ func main() {
 		if *until != 0 {
 			deadline = time.UnixMilli(*until)
 		}
-		if err := runFedMode(*fedShape, *fedSeed, *fedJournal, deadline); err != nil {
+		if err := runFedMode(*fedShape, *fedSeed, *fedJournal, *fedTraffic, deadline); err != nil {
 			fatal(err)
 		}
 		return
@@ -319,8 +321,13 @@ func runMember(topo *topology, member int, deadline time.Time, chaosPath string)
 // its own set of TCP loopback sockets (ephemeral ports — all endpoints live
 // here, so nothing needs to pre-agree on addresses). With journalDir set,
 // each shard and the tier get a durable FileJournal, so a SIGKILLed process
-// re-exec'd with the same command line restores both tiers from disk.
-func runFedMode(shape string, seed uint64, journalDir string, deadline time.Time) error {
+// re-exec'd with the same command line restores both tiers from disk. With
+// -traffic > 0 the global application lanes come up too: once a global
+// leader stands, every shard submits one broadcast per wave, and the final
+// FEDREPORT carries the lane verdict (committed length, retransmissions,
+// the sequence's FNV fingerprint, and whether every member delivered the
+// identical order).
+func runFedMode(shape string, seed uint64, journalDir string, traffic int, deadline time.Time) error {
 	s, m, err := parseShape(shape)
 	if err != nil {
 		return err
@@ -365,12 +372,16 @@ func runFedMode(shape string, seed uint64, journalDir string, deadline time.Time
 	}
 	tierOpts = append(tierOpts, jopts...)
 
-	f, err := star.NewFederation(
+	fedOpts := []star.FedOption{
 		star.FedShape(s, m), star.FedSeed(seed),
-		star.FedEpoch(50*time.Millisecond),
+		star.FedEpoch(50 * time.Millisecond),
 		star.FedShardOptions(func(shard int) []star.Option { return shardOpts[shard] }),
 		star.FedTierOptions(tierOpts...),
-	)
+	}
+	if traffic > 0 {
+		fedOpts = append(fedOpts, star.FedAppLanes())
+	}
+	f, err := star.NewFederation(fedOpts...)
 	if err != nil {
 		return err
 	}
@@ -378,6 +389,7 @@ func runFedMode(shape string, seed uint64, journalDir string, deadline time.Time
 
 	start := time.Now()
 	lastStatus := start
+	wave, submitted := 0, 0
 	for {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
@@ -390,9 +402,22 @@ func runFedMode(shape string, seed uint64, journalDir string, deadline time.Time
 		if err := f.Run(slice); err != nil {
 			return err
 		}
+		// One traffic wave per slice once the election has settled, so the
+		// submissions spread across the run instead of front-loading. The
+		// tail stays quiet: the last waves need wall time to commit.
+		if wave < traffic && f.GlobalLeader() != star.None && time.Until(deadline) > 3*time.Second {
+			for shard := 0; shard < s; shard++ {
+				if err := f.Broadcast(shard, wave%m, int64(shard)*1_000_000+int64(wave)); err != nil {
+					return err
+				}
+				submitted++
+			}
+			wave++
+		}
 		if time.Since(lastStatus) >= time.Second {
 			lastStatus = time.Now()
-			fmt.Printf("STATUS t=%v global=%d\n", time.Since(start).Round(100*time.Millisecond), f.GlobalLeader())
+			fmt.Printf("STATUS t=%v global=%d gseq=%d\n", time.Since(start).Round(100*time.Millisecond),
+				f.GlobalLeader(), len(f.GlobalSequence()))
 		}
 	}
 
@@ -403,6 +428,19 @@ func runFedMode(shape string, seed uint64, journalDir string, deadline time.Time
 		fr.Handoffs, fr.RejectedFrames, fr.Pressure, fr.TotalViolations,
 		fr.ShardRecovery.Restores, fr.ShardRecovery.Fallbacks,
 		rep.Recovery.Restores, rep.Recovery.Fallbacks)
+	if traffic > 0 {
+		seq := f.GlobalSequence()
+		agree := fedLogsAgree(f, seq)
+		fmt.Printf("FEDLANES  submitted=%d gseq=%d decisions=%d redeliveries=%d stale=%d dup=%d migrations=%d log_hash=%016x log_agree=%v\n",
+			submitted, len(seq), fr.GlobalDecisions, fr.Redeliveries,
+			fr.StaleSubmits, fr.DupLaneFrames, fr.Migrations, hashGlobal(seq), agree)
+		if len(seq) != submitted {
+			return fmt.Errorf("global lane committed %d of %d submissions", len(seq), submitted)
+		}
+		if !agree {
+			return fmt.Errorf("members disagree on the global sequence")
+		}
+	}
 	if fr.GlobalLeader == star.None {
 		return fmt.Errorf("run ended with no global leader")
 	}
@@ -410,6 +448,48 @@ func runFedMode(shape string, seed uint64, journalDir string, deadline time.Time
 		return fmt.Errorf("%d federation invariant violations", fr.TotalViolations)
 	}
 	return nil
+}
+
+// fedLogsAgree checks the lane agreement contract: every member's delivered
+// log is a prefix of the committed sequence, and a never-crashed member's
+// log is the whole of it.
+func fedLogsAgree(f *star.Federation, seq []star.GlobalDelivery) bool {
+	for s := 0; s < f.Shards(); s++ {
+		for p := 0; p < f.ShardSize(); p++ {
+			log := f.GlobalLog(s, p)
+			if len(log) > len(seq) {
+				return false
+			}
+			if !f.Shard(s).EverCrashed(p) && len(log) != len(seq) {
+				return false
+			}
+			for i, e := range log {
+				if e != seq[i] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// hashGlobal is an FNV-1a fingerprint of the committed global sequence.
+func hashGlobal(seq []star.GlobalDelivery) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xFF
+			h *= prime
+		}
+	}
+	for _, e := range seq {
+		mix(e.GSeq)
+		mix(uint64(e.Shard)<<32 | uint64(uint8(e.Kind))<<16 | uint64(uint16(e.Origin)))
+		mix(uint64(e.Payload))
+		mix(uint64(e.To))
+	}
+	return h
 }
 
 // parseShape parses an SxM federation shape like "2x3".

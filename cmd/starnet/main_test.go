@@ -274,6 +274,45 @@ scan:
 	}
 }
 
+// TestFedTraffic is the global-lane e2e: a 2x3 federation on real TCP
+// loopback sockets with the application lanes up, three waves of global
+// broadcasts routed shard lane → tier total order → back down every shard.
+// The FEDLANES line must show every submission committed exactly once and
+// every member delivering the identical sequence (the command itself exits
+// nonzero on a lost or duplicated delivery, so the error check carries most
+// of the verdict).
+func TestFedTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock e2e")
+	}
+	out, err := starnet(t, "-fed", "2x3", "-seed", "7", "-traffic", "3", "-duration", "15s").CombinedOutput()
+	if err != nil {
+		t.Fatalf("starnet -fed -traffic: %v\n%s", err, out)
+	}
+	lanes := ""
+	for _, line := range strings.Split(string(out), "\n") {
+		if strings.HasPrefix(line, "FEDLANES ") {
+			lanes = line
+		}
+	}
+	if lanes == "" {
+		t.Fatalf("no FEDLANES line:\n%s", out)
+	}
+	var submitted, gseq int
+	if _, err := fmt.Sscanf(afterKey(lanes, "submitted="), "%d", &submitted); err != nil {
+		t.Fatalf("parsing %q: %v", lanes, err)
+	}
+	if _, err := fmt.Sscanf(afterKey(lanes, "gseq="), "%d", &gseq); err != nil {
+		t.Fatalf("parsing %q: %v", lanes, err)
+	}
+	if submitted != 6 || gseq != submitted {
+		t.Fatalf("committed %d of %d submissions: %s", gseq, submitted, lanes)
+	}
+	if afterKey(lanes, "log_agree=") != "true" {
+		t.Fatalf("members disagree on the global sequence: %s", lanes)
+	}
+}
+
 // finalReport parses the last REPORT line of a member's output.
 func finalReport(t *testing.T, out string) childReport {
 	t.Helper()

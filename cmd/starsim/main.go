@@ -71,6 +71,8 @@ func main() {
 		spread   = flag.Bool("checkspread", false, "verify the Lemma 8 invariant on every delivery")
 		timeline = flag.Bool("timeline", false, "print the leader timeline (changes only)")
 		fed      = flag.String("fed", "", "federated mode: simulate an SxM federation (S shards of M processes plus a tier-2 delegate cluster), e.g. -fed 8x16")
+		traffic  = flag.Int("traffic", 0, "federated mode: drive N waves of global-lane broadcasts (one per shard per wave) through the federation's total-order lanes")
+		workers  = flag.Int("workers", 0, "federated mode: fork/join epoch parallelism (0 sequential, -1 one worker per CPU); replays stay byte-identical")
 		crashes  crashList
 	)
 	flag.Var(&crashes, "crash", "crash schedule entry id@time (repeatable), e.g. -crash 2@3s")
@@ -81,7 +83,7 @@ func main() {
 		fatal(err)
 	}
 	if *fed != "" {
-		if err := runFed(*fed, algorithm, *seed, *duration); err != nil {
+		if err := runFed(*fed, algorithm, *seed, *duration, *traffic, *workers); err != nil {
 			fatal(err)
 		}
 		return
@@ -165,7 +167,7 @@ func main() {
 // processes each electing locally, shard leaders delegated into a tier-2
 // cluster whose election names the global leader-of-leaders. Deterministic:
 // the same shape, algorithm and seed reproduce the report byte for byte.
-func runFed(shape string, algorithm star.Algo, seed uint64, duration time.Duration) error {
+func runFed(shape string, algorithm star.Algo, seed uint64, duration time.Duration, traffic, workers int) error {
 	sPart, mPart, ok := strings.Cut(shape, "x")
 	if !ok {
 		return fmt.Errorf("want -fed SxM, e.g. 8x16, got %q", shape)
@@ -178,20 +180,30 @@ func runFed(shape string, algorithm star.Algo, seed uint64, duration time.Durati
 	if err != nil {
 		return fmt.Errorf("bad shard size %q: %w", mPart, err)
 	}
-	f, err := star.NewFederation(
+	opts := []star.FedOption{
 		star.FedShape(shards, size), star.FedSeed(seed),
 		star.FedShardOptions(func(int) []star.Option {
 			return []star.Option{star.Algorithm(algorithm)}
 		}),
 		star.FedTierOptions(star.Algorithm(algorithm)),
-	)
+	}
+	if traffic > 0 {
+		opts = append(opts, star.FedAppLanes())
+	}
+	switch {
+	case workers > 0:
+		opts = append(opts, star.FedWorkers(workers))
+	case workers < 0:
+		opts = append(opts, star.FedWorkers(0)) // one worker per CPU
+	}
+	f, err := star.NewFederation(opts...)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 
 	wall := time.Now()
-	if err := f.Run(duration); err != nil {
+	if err := runFedTraffic(f, duration, traffic, shards, size); err != nil {
 		return err
 	}
 	elapsed := time.Since(wall)
@@ -217,12 +229,64 @@ func runFed(shape string, algorithm star.Algo, seed uint64, duration time.Durati
 	for _, v := range fr.Violations {
 		fmt.Printf("           at=%v rule=%s detail=%q\n", v.At, v.Rule, v.Detail)
 	}
+	if traffic > 0 {
+		seq := f.GlobalSequence()
+		fmt.Printf("global     %d lane entries committed (%d decisions, %d redeliveries, %d stale submits, %d dup frames), log hash %016x\n",
+			len(seq), fr.GlobalDecisions, fr.Redeliveries, fr.StaleSubmits, fr.DupLaneFrames, hashGlobal(seq))
+		fmt.Printf("migrations %d executed\n", fr.Migrations)
+	}
 	events := f.Tier().Metrics().Events
 	for i := 0; i < f.Shards(); i++ {
 		events += f.Shard(i).Metrics().Events
 	}
 	fmt.Printf("events     %d simulator events across %d clusters\n", events, f.Shards()+1)
 	return nil
+}
+
+// runFedTraffic advances the federation, with -traffic > 0 splitting the
+// horizon into a stabilization quarter, the broadcast waves over the middle
+// half, and a settling tail (the same deterministic schedule the harness
+// uses, so a starsim run cross-checks a harness row).
+func runFedTraffic(f *star.Federation, duration time.Duration, traffic, shards, size int) error {
+	if traffic <= 0 {
+		return f.Run(duration)
+	}
+	warm := duration / 4
+	if err := f.Run(warm); err != nil {
+		return err
+	}
+	slice := duration / 2 / time.Duration(traffic)
+	for w := 0; w < traffic; w++ {
+		for s := 0; s < shards; s++ {
+			if err := f.Broadcast(s, w%size, int64(s)*1_000_000+int64(w)); err != nil {
+				return err
+			}
+		}
+		if err := f.Run(slice); err != nil {
+			return err
+		}
+	}
+	return f.Run(duration - warm - time.Duration(traffic)*slice)
+}
+
+// hashGlobal is an FNV-1a fingerprint of the committed global sequence:
+// equal hashes across runs mean byte-identical global delivery logs.
+func hashGlobal(seq []star.GlobalDelivery) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xFF
+			h *= prime
+		}
+	}
+	for _, e := range seq {
+		mix(e.GSeq)
+		mix(uint64(e.Shard)<<32 | uint64(uint8(e.Kind))<<16 | uint64(uint16(e.Origin)))
+		mix(uint64(e.Payload))
+		mix(uint64(e.To))
+	}
+	return h
 }
 
 func fatal(err error) {

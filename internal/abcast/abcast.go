@@ -32,6 +32,17 @@ import (
 // timerPropose drives the sequencing duty cycle.
 const timerPropose proc.TimerKey = 0
 
+// rediffuseAfter is how many propose ticks one of this process's own
+// broadcasts may stay undelivered before its content is diffused again.
+// Diffusion is otherwise broadcast-once: a multicast partially lost to a
+// link cut or partition would leave some members without the content of a
+// key that may later be sequenced — and a decided slot with unknown content
+// blocks a member's whole lane. The sender is the one process guaranteed to
+// hold the content, so it re-floods until it has delivered the message
+// itself. Age-gating keeps the steady state quiet: a healthy lane delivers
+// well within two ticks and never re-sends.
+const rediffuseAfter = 2
+
 // Delivery is one totally-ordered delivery event.
 type Delivery struct {
 	Slot    int64
@@ -85,6 +96,7 @@ type Node struct {
 	nextLocalID int64
 	pool        wire.ABCastPool // recycled diffusion payloads
 	contents    map[int64]int64 // key -> payload (diffused contents)
+	own         map[int64]int   // undelivered own keys -> ticks since last diffusion
 	sequenced   map[int64]bool  // keys decided into some slot
 	delivered   map[int64]bool  // keys already delivered
 	decisions   map[int64]int64 // slot -> key
@@ -105,6 +117,7 @@ func NewPair(cfg Config) (*Node, *consensus.Node, error) {
 	n := &Node{
 		cfg:       cfg,
 		contents:  make(map[int64]int64),
+		own:       make(map[int64]int),
 		sequenced: make(map[int64]bool),
 		delivered: make(map[int64]bool),
 		decisions: make(map[int64]int64),
@@ -151,6 +164,7 @@ func (n *Node) Broadcast(payload int64) {
 		return
 	}
 	n.nextLocalID++
+	n.own[key(n.env.ID(), n.nextLocalID)] = 0
 	m := n.pool.Get()
 	m.Sender, m.LocalID, m.Payload = int32(n.env.ID()), n.nextLocalID, payload
 	proc.BroadcastAll(n.env, m)
@@ -161,6 +175,23 @@ func (n *Node) Log() []Delivery {
 	out := make([]Delivery, len(n.log))
 	copy(out, n.log)
 	return out
+}
+
+// Backlog reports how many decided slots are stuck at or past the delivery
+// cursor — sequenced but not yet deliverable, either because their content
+// has not diffused here or because this incarnation joined after earlier
+// slots were decided (a rejoined node's cursor restarts at zero and old
+// slots are never re-decided, so its backlog freezes: the lane owes such
+// members a prefix, not the suffix). The federation's global lanes surface
+// this as a per-member diagnostic.
+func (n *Node) Backlog() int {
+	b := 0
+	for slot := range n.decisions {
+		if slot >= n.nextDeliver {
+			b++
+		}
+	}
+	return b
 }
 
 // OnMessage implements proc.Node (the diffusion lane).
@@ -191,7 +222,40 @@ func (n *Node) OnTimer(tk proc.TimerKey) {
 	if n.cfg.Oracle() == n.env.ID() {
 		n.proposePending()
 	}
+	n.rediffuse()
 	n.env.SetTimer(timerPropose, n.cfg.ProposePeriod)
+}
+
+// rediffuse re-floods the contents of this process's own broadcasts that
+// have gone rediffuseAfter propose ticks without being delivered locally
+// (see the constant's comment for why the sender owns this duty).
+func (n *Node) rediffuse() {
+	if len(n.own) == 0 {
+		return
+	}
+	var due []int64
+	for k, age := range n.own {
+		if n.delivered[k] {
+			delete(n.own, k)
+			continue
+		}
+		n.own[k] = age + 1
+		if age+1 >= rediffuseAfter {
+			due = append(due, k)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	for _, k := range due {
+		payload, have := n.contents[k]
+		if !have {
+			continue // own loopback copy still in flight
+		}
+		n.own[k] = 0
+		_, localID := splitKey(k)
+		m := n.pool.Get()
+		m.Sender, m.LocalID, m.Payload = int32(n.env.ID()), localID, payload
+		proc.BroadcastAll(n.env, m)
+	}
 }
 
 // proposePending pushes unsequenced pending messages into free slots, in

@@ -1,0 +1,395 @@
+// Package fedlane is the transport-free core of the federation's global
+// application lanes: cross-shard total-order broadcast (and consensus on
+// top of it) routed through the two-tier hierarchy, the application
+// counterpart of package hier's handoff registry.
+//
+// The routing path mirrors the election hierarchy. A member of a shard
+// submits a payload; the submission's content stays in the Router's table
+// and only a small positive int64 *offer* record rides the shard's own
+// atomic-broadcast lane. When the offer surfaces on the shard lane the
+// federation forwards a *submit* record — stamped with the shard's current
+// delegate incarnation from hier.Table — onto the tier's total-order lane.
+// The tier lane's delivery order IS the global order: each admitted submit
+// appends one Entry to the global log, and a *decide* record carrying the
+// entry's global sequence number diffuses back down every shard's lane, so
+// every live member of every shard walks the same committed prefix.
+//
+// Incarnation stamping reuses the election's stale-frame rule: a submit
+// carrying a superseded incarnation is rejected exactly like a deposed
+// delegate's handoff, and the submission simply stays pending until the
+// retransmit tick re-forwards it under the current incarnation. Dedup is
+// positional — a submission is keyed (shard, seq) and committed at most
+// once; decide records are idempotent per member via a cursor plus a
+// hold-back set — so re-offers, re-submits and re-broadcasts after churn,
+// partitions or lost frames never duplicate or reorder a delivery.
+//
+// Like hier, everything here is pure data manipulation driven from the
+// federation's epoch loop: same call sequence, same results, on every
+// transport. The Router is not safe for concurrent use; the federation
+// serializes access.
+package fedlane
+
+import (
+	"fmt"
+
+	"repro/internal/hier"
+)
+
+// Kind classifies a submission on the global lane.
+type Kind uint8
+
+const (
+	// Broadcast is plain total-order broadcast: the payload is delivered
+	// in global order at every member.
+	Broadcast Kind = iota
+	// Propose is global consensus: like Broadcast, but the payload also
+	// lands in the numbered decision sequence (Decisions).
+	Propose
+	// Migrate is a membership delta: the origin process leaves its shard
+	// and rejoins the destination shard, announced in global order.
+	Migrate
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Broadcast:
+		return "broadcast"
+	case Propose:
+		return "propose"
+	case Migrate:
+		return "migrate"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Entry is one committed decision of the global total order.
+type Entry struct {
+	GSeq    uint64 // position in the global log
+	Shard   int    // origin shard
+	Origin  int    // shard-local id of the submitting member
+	Kind    Kind
+	Payload int64
+	To      int // destination shard (Migrate only)
+}
+
+// Counters is the Router's observability snapshot.
+type Counters struct {
+	Decisions    uint64 // entries committed to the global log
+	Redeliveries uint64 // records scheduled for retransmission by Tick
+	Stale        uint64 // submits rejected for a superseded incarnation
+	Dup          uint64 // duplicate offers/submits/decides absorbed
+}
+
+// Record layouts. Every record is positive and self-identifying via the
+// hier magic registry:
+//
+//	offer   MagicOffer<<56  | shard(16 @24..39) | seq(24 @0..23)
+//	submit  MagicSubmit<<56 | inc(16 @40..55) | shard(16 @24..39) | seq(24 @0..23)
+//	decide  MagicDecide<<56 | gseq(48 @0..47)
+//
+// Sequence numbers are carried modulo 2^24 and incarnations modulo 2^16 —
+// far above any reachable per-run count, so the decoded values compare
+// equal to the Router's full counters in every reachable execution (the
+// same argument hier makes for its 24-bit incarnation field).
+const (
+	seqMask   = 1<<24 - 1
+	shardMask = 1<<16 - 1
+	inc16Mask = 1<<16 - 1
+	gseqMask  = 1<<48 - 1
+)
+
+// EncodeOffer packs an offer record for the shard lane.
+func EncodeOffer(shard int, seq uint64) int64 {
+	return int64(hier.MagicOffer)<<hier.MagicShift |
+		int64(shard&shardMask)<<24 | int64(seq&seqMask)
+}
+
+// DecodeOffer unpacks an offer record; ok is false for foreign payloads.
+func DecodeOffer(v int64) (shard int, seq uint64, ok bool) {
+	if hier.Magic(v) != hier.MagicOffer {
+		return 0, 0, false
+	}
+	return int(v >> 24 & shardMask), uint64(v & seqMask), true
+}
+
+// EncodeSubmit packs a submit record for the tier lane, stamped with the
+// shard's delegate incarnation.
+func EncodeSubmit(shard int, seq, inc uint64) int64 {
+	return int64(hier.MagicSubmit)<<hier.MagicShift |
+		int64(inc&inc16Mask)<<40 | int64(shard&shardMask)<<24 | int64(seq&seqMask)
+}
+
+// DecodeSubmit unpacks a submit record; ok is false for foreign payloads.
+func DecodeSubmit(v int64) (shard int, seq, inc uint64, ok bool) {
+	if hier.Magic(v) != hier.MagicSubmit {
+		return 0, 0, 0, false
+	}
+	return int(v >> 24 & shardMask), uint64(v & seqMask), uint64(v >> 40 & inc16Mask), true
+}
+
+// EncodeDecide packs a decide record for the shard lanes.
+func EncodeDecide(gseq uint64) int64 {
+	return int64(hier.MagicDecide)<<hier.MagicShift | int64(gseq&gseqMask)
+}
+
+// DecodeDecide unpacks a decide record; ok is false for foreign payloads.
+func DecodeDecide(v int64) (gseq uint64, ok bool) {
+	if hier.Magic(v) != hier.MagicDecide {
+		return 0, false
+	}
+	return uint64(v & gseqMask), true
+}
+
+// sub is one submission's content plus its routing lifecycle.
+type sub struct {
+	origin  int
+	kind    Kind
+	payload int64
+	to      int
+
+	offered   bool   // surfaced on the shard lane at least once
+	committed bool   // admitted into the global log
+	born      uint64 // Tick count at submission (age-gates retransmits)
+}
+
+// member is one shard member's delivery state: the next global sequence
+// number it expects, plus decides that arrived ahead of the cursor (a gap
+// opens when an earlier decide's downward broadcast was lost to churn and
+// a retransmission fills it in later).
+type member struct {
+	cursor   uint64
+	holdback map[uint64]bool
+}
+
+// Router is the federation-side state machine of the global lanes: the
+// submission content table, the upward funnel, the global log, and every
+// member's delivery cursor.
+type Router struct {
+	shards, size int
+
+	subs      [][]sub  // per shard, indexed by submission seq
+	firstLive []int    // per shard: lowest seq not yet committed
+	pendingUp [][]int  // per shard: offered seqs awaiting tier commit, FIFO
+	log       []Entry  // the global total order
+	logBorn   []uint64 // Tick count at commit, parallel to log
+	decisions []int64  // Propose payloads in commit order
+	members   [][]member
+
+	ticks uint64
+	ctr   Counters
+}
+
+// NewRouter returns a router for a federation of the given shape.
+func NewRouter(shards, size int) *Router {
+	r := &Router{
+		shards:    shards,
+		size:      size,
+		subs:      make([][]sub, shards),
+		firstLive: make([]int, shards),
+		pendingUp: make([][]int, shards),
+		members:   make([][]member, shards),
+	}
+	for s := range r.members {
+		r.members[s] = make([]member, size)
+	}
+	return r
+}
+
+// Submit registers a new submission from origin in shard and returns the
+// offer record to broadcast on the shard's own lane. The payload itself
+// never rides a lane — only the (shard, seq) reference does — so the full
+// int64 range is usable.
+func (r *Router) Submit(shard, origin int, kind Kind, payload int64, to int) int64 {
+	seq := uint64(len(r.subs[shard]))
+	r.subs[shard] = append(r.subs[shard], sub{
+		origin: origin, kind: kind, payload: payload, to: to, born: r.ticks,
+	})
+	return EncodeOffer(shard, seq)
+}
+
+// ShardDelivered processes one payload delivered on shard's lane at
+// member. A newly surfaced offer returns the submit record to forward onto
+// the tier lane, stamped with inc (the shard's current delegate
+// incarnation); duplicate offers and all decide records return
+// forward=false. Foreign payloads pass through untouched.
+func (r *Router) ShardDelivered(shard, mem int, v int64, inc uint64) (submit int64, forward bool) {
+	switch hier.Magic(v) {
+	case hier.MagicOffer:
+		os, seq, _ := DecodeOffer(v)
+		if os != shard || seq >= uint64(len(r.subs[shard])) {
+			return 0, false // foreign or corrupt reference
+		}
+		su := &r.subs[shard][seq]
+		if su.offered || su.committed {
+			r.ctr.Dup++
+			return 0, false
+		}
+		su.offered = true
+		r.pendingUp[shard] = append(r.pendingUp[shard], int(seq))
+		return EncodeSubmit(shard, seq, inc), true
+
+	case hier.MagicDecide:
+		g, _ := DecodeDecide(v)
+		if g >= uint64(len(r.log)) {
+			return 0, false // not a gseq we issued; ignore
+		}
+		m := &r.members[shard][mem]
+		switch {
+		case g < m.cursor:
+			r.ctr.Dup++
+		case g == m.cursor:
+			m.cursor++
+			for m.holdback[m.cursor] {
+				delete(m.holdback, m.cursor)
+				m.cursor++
+			}
+		default:
+			if m.holdback == nil {
+				m.holdback = make(map[uint64]bool)
+			}
+			if m.holdback[g] {
+				r.ctr.Dup++
+			} else {
+				m.holdback[g] = true
+			}
+		}
+	}
+	return 0, false
+}
+
+// TierDelivered processes one payload delivered on the tier's total-order
+// lane. A submit record is admitted exactly when its incarnation stamp
+// matches inc(shard) — the same rule that silences deposed delegates'
+// handoffs — and admission appends the entry to the global log and returns
+// it with the decide record to diffuse down every shard lane. Stale
+// submits are counted and left pending (the retransmit tick re-forwards
+// them under the current incarnation); duplicates are absorbed. Foreign
+// payloads (handoffs included) return admit=false untouched.
+func (r *Router) TierDelivered(v int64, inc func(shard int) uint64) (e Entry, decide int64, admit bool) {
+	shard, seq, sinc, ok := DecodeSubmit(v)
+	if !ok || shard >= r.shards || seq >= uint64(len(r.subs[shard])) {
+		return Entry{}, 0, false
+	}
+	su := &r.subs[shard][seq]
+	if su.committed {
+		r.ctr.Dup++
+		return Entry{}, 0, false
+	}
+	if sinc != inc(shard)&inc16Mask {
+		r.ctr.Stale++
+		return Entry{}, 0, false
+	}
+	su.committed = true
+	for r.firstLive[shard] < len(r.subs[shard]) && r.subs[shard][r.firstLive[shard]].committed {
+		r.firstLive[shard]++
+	}
+	g := uint64(len(r.log))
+	e = Entry{GSeq: g, Shard: shard, Origin: su.origin, Kind: su.kind, Payload: su.payload, To: su.to}
+	r.log = append(r.log, e)
+	r.logBorn = append(r.logBorn, r.ticks)
+	if su.kind == Propose {
+		r.decisions = append(r.decisions, su.payload)
+	}
+	r.ctr.Decisions++
+	return e, EncodeDecide(g), true
+}
+
+// Retransmit is one Tick's batch of records to re-send, grouped by lane.
+// The federation picks live senders; the router only decides what is
+// overdue.
+type Retransmit struct {
+	// Offers[s]: offer records for shard s's lane whose original
+	// broadcast never surfaced (the submitter crashed first).
+	Offers [][]int64
+	// Submits[s]: submit records for the tier lane (from delegate-proxy
+	// member s), re-stamped with the current incarnation, for offered
+	// submissions the tier has not committed.
+	Submits [][]int64
+	// Decides[s]: decide records for shard s's lane covering committed
+	// entries no member of s has delivered yet.
+	Decides [][]int64
+}
+
+// Empty reports whether the batch carries nothing.
+func (rt *Retransmit) Empty() bool {
+	for s := range rt.Offers {
+		if len(rt.Offers[s]) > 0 || len(rt.Submits[s]) > 0 || len(rt.Decides[s]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick advances the retransmission clock and returns everything overdue:
+// never-surfaced offers, offered-but-uncommitted submits (re-stamped with
+// the current incarnation, which is what revives submissions orphaned by
+// delegate churn), and committed decides missing from a shard's lane. A
+// record must have aged at least two ticks before it is re-sent, so
+// normal in-flight latency does not trigger spurious duplicates; decide
+// re-broadcasts are capped at maxDecides per shard per tick to bound the
+// burst after a long partition heals.
+func (r *Router) Tick(inc func(shard int) uint64, maxDecides int) Retransmit {
+	r.ticks++
+	rt := Retransmit{
+		Offers:  make([][]int64, r.shards),
+		Submits: make([][]int64, r.shards),
+		Decides: make([][]int64, r.shards),
+	}
+	for s := 0; s < r.shards; s++ {
+		for seq := r.firstLive[s]; seq < len(r.subs[s]); seq++ {
+			su := &r.subs[s][seq]
+			if su.committed || r.ticks-su.born < 2 {
+				continue
+			}
+			if !su.offered {
+				rt.Offers[s] = append(rt.Offers[s], EncodeOffer(s, uint64(seq)))
+			} else {
+				rt.Submits[s] = append(rt.Submits[s], EncodeSubmit(s, uint64(seq), inc(s)))
+			}
+		}
+		ack := uint64(0)
+		for m := range r.members[s] {
+			if c := r.members[s][m].cursor; c > ack {
+				ack = c
+			}
+		}
+		for g := ack; g < uint64(len(r.log)) && len(rt.Decides[s]) < maxDecides; g++ {
+			if r.ticks-r.logBorn[g] < 2 {
+				break // younger entries are younger still
+			}
+			rt.Decides[s] = append(rt.Decides[s], EncodeDecide(g))
+		}
+		r.ctr.Redeliveries += uint64(len(rt.Offers[s]) + len(rt.Submits[s]) + len(rt.Decides[s]))
+	}
+	return rt
+}
+
+// Log returns the committed global total order. The slice is the router's
+// own; callers must not mutate it.
+func (r *Router) Log() []Entry { return r.log }
+
+// Cursor returns how many global-log entries the member has delivered on
+// its shard lane: its delivered prefix is Log()[:Cursor(...)]. A member
+// that rejoined after a crash keeps a frozen cursor (its fresh lane cannot
+// replay old slots), which is exactly the prefix-consistency the lanes
+// guarantee for ever-crashed members.
+func (r *Router) Cursor(shard, mem int) uint64 { return r.members[shard][mem].cursor }
+
+// Decisions returns the global consensus sequence: every committed
+// Propose payload in commit order.
+func (r *Router) Decisions() []int64 { return r.decisions }
+
+// Pending reports how many submissions of shard are not yet committed —
+// the upward-funnel backlog.
+func (r *Router) Pending(shard int) int {
+	n := 0
+	for seq := r.firstLive[shard]; seq < len(r.subs[shard]); seq++ {
+		if !r.subs[shard][seq].committed {
+			n++
+		}
+	}
+	return n
+}
+
+// Counters returns the observability snapshot.
+func (r *Router) Counters() Counters { return r.ctr }

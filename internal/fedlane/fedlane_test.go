@@ -1,0 +1,255 @@
+package fedlane
+
+import (
+	"testing"
+
+	"repro/internal/hier"
+)
+
+func TestRecordRoundTrips(t *testing.T) {
+	off := EncodeOffer(7, 123)
+	if s, q, ok := DecodeOffer(off); !ok || s != 7 || q != 123 {
+		t.Fatalf("offer round trip: got (%d,%d,%v)", s, q, ok)
+	}
+	sub := EncodeSubmit(65535, 1<<24-1, 42)
+	if s, q, inc, ok := DecodeSubmit(sub); !ok || s != 65535 || q != 1<<24-1 || inc != 42 {
+		t.Fatalf("submit round trip: got (%d,%d,%d,%v)", s, q, inc, ok)
+	}
+	dec := EncodeDecide(1 << 40)
+	if g, ok := DecodeDecide(dec); !ok || g != 1<<40 {
+		t.Fatalf("decide round trip: got (%d,%v)", g, ok)
+	}
+	for _, v := range []int64{off, sub, dec} {
+		if v < 0 {
+			t.Fatalf("record %#x is negative", v)
+		}
+	}
+	// Cross-kind decodes must refuse each other, and handoffs must pass
+	// through every fedlane decoder (the lanes are shared).
+	if _, _, ok := DecodeOffer(sub); ok {
+		t.Fatal("DecodeOffer accepted a submit")
+	}
+	if _, _, _, ok := DecodeSubmit(dec); ok {
+		t.Fatal("DecodeSubmit accepted a decide")
+	}
+	if _, ok := DecodeDecide(off); ok {
+		t.Fatal("DecodeDecide accepted an offer")
+	}
+	h, err := hier.EncodeHandoff(3, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := DecodeOffer(h); ok {
+		t.Fatal("DecodeOffer accepted a handoff")
+	}
+	if _, _, _, ok := DecodeSubmit(h); ok {
+		t.Fatal("DecodeSubmit accepted a handoff")
+	}
+	if _, ok := DecodeDecide(h); ok {
+		t.Fatal("DecodeDecide accepted a handoff")
+	}
+	if hier.Magic(off) != hier.MagicOffer || hier.Magic(sub) != hier.MagicSubmit ||
+		hier.Magic(dec) != hier.MagicDecide || hier.Magic(h) != hier.MagicHandoff {
+		t.Fatal("magic registry mismatch")
+	}
+	if hier.Magic(-1) != 0 {
+		t.Fatal("negative payloads must have no magic")
+	}
+}
+
+// inc1 is the trivial incarnation view: every shard at incarnation 1.
+func inc1(int) uint64 { return 1 }
+
+func TestRouterHappyPath(t *testing.T) {
+	r := NewRouter(2, 3)
+	off := r.Submit(0, 2, Propose, 77, 0)
+
+	// The offer surfaces on shard 0's lane at member 1 → forward a submit.
+	sub, fwd := r.ShardDelivered(0, 1, off, 1)
+	if !fwd {
+		t.Fatal("fresh offer not forwarded")
+	}
+	// The same offer at the other members is a duplicate.
+	if _, again := r.ShardDelivered(0, 0, off, 1); again {
+		t.Fatal("duplicate offer forwarded twice")
+	}
+
+	// The tier lane orders the submit → one global entry, one decide.
+	e, dec, admit := r.TierDelivered(sub, inc1)
+	if !admit || e.GSeq != 0 || e.Shard != 0 || e.Origin != 2 || e.Kind != Propose || e.Payload != 77 {
+		t.Fatalf("bad entry %+v admit=%v", e, admit)
+	}
+	// Every tier member delivers its own copy; later copies are dups.
+	if _, _, again := r.TierDelivered(sub, inc1); again {
+		t.Fatal("duplicate submit committed twice")
+	}
+
+	// The decide diffuses down both shard lanes; every member converges.
+	for s := 0; s < 2; s++ {
+		for m := 0; m < 3; m++ {
+			r.ShardDelivered(s, m, dec, 1)
+			if got := r.Cursor(s, m); got != 1 {
+				t.Fatalf("cursor(%d,%d)=%d, want 1", s, m, got)
+			}
+		}
+	}
+	if got := r.Decisions(); len(got) != 1 || got[0] != 77 {
+		t.Fatalf("decisions=%v", got)
+	}
+	if log := r.Log(); len(log) != 1 || log[0] != e {
+		t.Fatalf("log=%v", log)
+	}
+	if r.Pending(0) != 0 {
+		t.Fatalf("pending=%d after commit", r.Pending(0))
+	}
+	c := r.Counters()
+	if c.Decisions != 1 || c.Dup != 2 || c.Stale != 0 {
+		t.Fatalf("counters=%+v", c)
+	}
+}
+
+func TestRouterStaleIncarnationRevived(t *testing.T) {
+	r := NewRouter(1, 2)
+	off := r.Submit(0, 0, Broadcast, 5, 0)
+	sub, _ := r.ShardDelivered(0, 0, off, 3) // forwarded under incarnation 3
+
+	// By the time the tier orders it the delegate was deposed: reject.
+	cur := uint64(4)
+	incs := func(int) uint64 { return cur }
+	if _, _, admit := r.TierDelivered(sub, incs); admit {
+		t.Fatal("stale submit admitted")
+	}
+	if r.Counters().Stale != 1 {
+		t.Fatalf("stale=%d", r.Counters().Stale)
+	}
+	if r.Pending(0) != 1 {
+		t.Fatal("stale submission dropped from the funnel")
+	}
+
+	// The retransmit tick re-stamps it with the current incarnation.
+	r.Tick(incs, 16) // age 1: too fresh
+	rt := r.Tick(incs, 16)
+	if len(rt.Submits[0]) != 1 {
+		t.Fatalf("retransmit batch %+v, want one submit", rt)
+	}
+	if _, _, inc, _ := DecodeSubmit(rt.Submits[0][0]); inc != 4 {
+		t.Fatalf("re-stamped inc=%d, want 4", inc)
+	}
+	if e, _, admit := r.TierDelivered(rt.Submits[0][0], incs); !admit || e.Payload != 5 {
+		t.Fatalf("revived submit not admitted: %+v %v", e, admit)
+	}
+	if r.Counters().Redeliveries == 0 {
+		t.Fatal("redeliveries not counted")
+	}
+}
+
+func TestRouterLostOfferReoffered(t *testing.T) {
+	r := NewRouter(1, 2)
+	r.Submit(0, 1, Broadcast, 9, 0) // the offer broadcast never lands
+
+	r.Tick(inc1, 16)
+	rt := r.Tick(inc1, 16)
+	if len(rt.Offers[0]) != 1 {
+		t.Fatalf("lost offer not re-offered: %+v", rt)
+	}
+	if sub, fwd := r.ShardDelivered(0, 0, rt.Offers[0][0], 1); !fwd {
+		t.Fatal("re-offer not forwarded")
+	} else if _, _, admit := r.TierDelivered(sub, inc1); !admit {
+		t.Fatal("re-offered submission not admitted")
+	}
+	if rt3 := r.Tick(inc1, 16); len(rt3.Offers[0]) != 0 || len(rt3.Submits[0]) != 0 {
+		t.Fatalf("committed submission still retransmitting: %+v", rt3)
+	}
+}
+
+func TestRouterDecideGapAndRedelivery(t *testing.T) {
+	r := NewRouter(1, 2)
+	var decs []int64
+	for i := 0; i < 3; i++ {
+		off := r.Submit(0, 0, Broadcast, int64(i), 0)
+		sub, _ := r.ShardDelivered(0, 0, off, 1)
+		_, dec, _ := r.TierDelivered(sub, inc1)
+		decs = append(decs, dec)
+	}
+
+	// Member 1 sees 0, then 2 ahead of the gap, then the retransmitted 1.
+	r.ShardDelivered(0, 1, decs[0], 1)
+	r.ShardDelivered(0, 1, decs[2], 1)
+	if r.Cursor(0, 1) != 1 {
+		t.Fatalf("cursor=%d with a gap, want 1", r.Cursor(0, 1))
+	}
+	r.ShardDelivered(0, 1, decs[1], 1)
+	if r.Cursor(0, 1) != 3 {
+		t.Fatalf("cursor=%d after gap fill, want 3", r.Cursor(0, 1))
+	}
+	// Replays are absorbed.
+	r.ShardDelivered(0, 1, decs[1], 1)
+	if r.Cursor(0, 1) != 3 || r.Counters().Dup == 0 {
+		t.Fatalf("replay moved the cursor: %d", r.Cursor(0, 1))
+	}
+
+	// Member 0 delivered nothing: the tick re-broadcasts the whole
+	// window... except member 1's cursor proves the decides reached the
+	// lane, so the window starts at the maximum cursor — nothing to send.
+	r.Tick(inc1, 16)
+	rt := r.Tick(inc1, 16)
+	if len(rt.Decides[0]) != 0 {
+		t.Fatalf("decides re-sent despite lane coverage: %+v", rt)
+	}
+}
+
+func TestRouterDecideRetransmitWindow(t *testing.T) {
+	r := NewRouter(2, 2)
+	// Commit 3 entries from shard 0; shard 1's lane never sees decides.
+	for i := 0; i < 3; i++ {
+		off := r.Submit(0, 0, Broadcast, int64(i), 0)
+		sub, _ := r.ShardDelivered(0, 0, off, 1)
+		r.TierDelivered(sub, inc1)
+	}
+	r.Tick(inc1, 16)
+	rt := r.Tick(inc1, 2) // cap at 2 per shard per tick
+	if len(rt.Decides[1]) != 2 {
+		t.Fatalf("decide window=%d, want capped 2", len(rt.Decides[1]))
+	}
+	if g, _ := DecodeDecide(rt.Decides[1][0]); g != 0 {
+		t.Fatalf("window starts at %d, want 0", g)
+	}
+	// Deliver them all on shard 1; the window drains.
+	for g := uint64(0); g < 3; g++ {
+		r.ShardDelivered(1, 0, EncodeDecide(g), 1)
+	}
+	if rt = r.Tick(inc1, 16); len(rt.Decides[1]) != 0 {
+		t.Fatalf("window not drained: %+v", rt)
+	}
+}
+
+func TestRouterIgnoresForeignAndCorrupt(t *testing.T) {
+	r := NewRouter(1, 1)
+	if _, fwd := r.ShardDelivered(0, 0, 12345, 1); fwd {
+		t.Fatal("foreign payload forwarded")
+	}
+	// An offer referencing a submission that does not exist.
+	if _, fwd := r.ShardDelivered(0, 0, EncodeOffer(0, 99), 1); fwd {
+		t.Fatal("corrupt offer forwarded")
+	}
+	// A decide beyond the log.
+	r.ShardDelivered(0, 0, EncodeDecide(7), 1)
+	if r.Cursor(0, 0) != 0 {
+		t.Fatal("corrupt decide moved the cursor")
+	}
+	if _, _, admit := r.TierDelivered(EncodeSubmit(0, 50, 1), inc1); admit {
+		t.Fatal("corrupt submit admitted")
+	}
+	h, _ := hier.EncodeHandoff(0, 0, 1)
+	if _, _, admit := r.TierDelivered(h, inc1); admit {
+		t.Fatal("handoff admitted as a submit")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Broadcast: "broadcast", Propose: "propose", Migrate: "migrate", Kind(9): "Kind(9)"} {
+		if k.String() != want {
+			t.Fatalf("%d.String()=%q, want %q", k, k, want)
+		}
+	}
+}

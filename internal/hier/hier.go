@@ -129,15 +129,43 @@ func (t *Table) Rejected() uint64 { return t.rejected }
 //	bits  0..15  leader (shard-local id)
 //	bits 16..31  shard index
 //	bits 32..55  incarnation (low 24 bits)
-//	bits 56..62  magic (handoffMagic), so foreign payloads sharing the
+//	bits 56..62  magic (MagicHandoff), so foreign payloads sharing the
 //	             lane are recognized and ignored rather than misparsed
 const (
-	handoffMagic      = 0x2A
-	handoffMagicShift = 56
+	handoffMagic      = MagicHandoff
+	handoffMagicShift = MagicShift
 	maxShardIndex     = 1<<16 - 1
 	maxLeaderID       = 1<<16 - 1
 	incMask           = 1<<24 - 1
 )
+
+// The federation's lanes multiplex several record kinds over the same
+// int64 atomic-broadcast payloads. Every kind claims a distinct magic in
+// the top byte (bit 63 stays clear so values remain positive); this
+// registry is the single authority, so new kinds cannot collide.
+//
+//	0x2A  handoff    (this package: EncodeHandoff/DecodeHandoff)
+//	0x2B  offer      (fedlane: a member offering a submission upward)
+//	0x2C  submit     (fedlane: a delegate forwarding onto the tier lane)
+//	0x2D  decide     (fedlane: a tier-ordered decision diffusing down)
+const (
+	// MagicShift is the bit position of the magic byte in every record.
+	MagicShift = 56
+
+	MagicHandoff = 0x2A
+	MagicOffer   = 0x2B
+	MagicSubmit  = 0x2C
+	MagicDecide  = 0x2D
+)
+
+// Magic extracts the record-kind magic of a lane payload, or 0 for
+// negative values (which no record kind produces).
+func Magic(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	return v >> MagicShift
+}
 
 // The encoding's hard limits, exported for the façade's validation.
 const (

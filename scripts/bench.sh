@@ -185,7 +185,20 @@ if [ "${1:-}" = "--gate" ]; then
 	exit 0
 fi
 
-out="${1:-BENCH_2.json}"
+# Default output: the next BENCH_<n>.json after the newest recorded one,
+# so an argument-less record run never clobbers an existing baseline.
+if [ -n "${1:-}" ]; then
+	out="$1"
+else
+	latest=$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)
+	if [ -n "$latest" ]; then
+		n="${latest#BENCH_}"
+		n="${n%.json}"
+		out="BENCH_$((n + 1)).json"
+	else
+		out="BENCH_1.json"
+	fi
+fi
 bench="${BENCH:-.}"
 benchtime="${BENCHTIME:-3x}"
 

@@ -6,7 +6,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fedlane"
 	"repro/internal/hier"
+	"repro/internal/par"
 )
 
 // DefaultFedEpoch is the federation's bridge cadence: how often the epoch
@@ -71,6 +73,24 @@ type Federation struct {
 	delMu sync.Mutex
 	inbox []Delivery
 
+	// Global application lanes (FedAppLanes). router is the fedlane state
+	// machine (guarded by mu); laneMu guards the per-shard lane inboxes,
+	// filled by each shard's abcast OnDeliver callback under that shard's
+	// process callback locks — like onTierDeliver, those callbacks must
+	// never take mu.
+	router *fedlane.Router
+	laneMu sync.Mutex
+	laneIn [][]laneDelivery
+
+	// Parallel epoch loop (FedWorkers). During a parallel window shard
+	// observer events are buffered per shard — only shard s's worker
+	// goroutine writes evBuf[s] — and flushed in shard-index order at the
+	// barrier, so the observer stream is byte-identical to sequential
+	// execution. buffered is written only on the epoch-loop goroutine,
+	// before the workers start and after they join.
+	buffered bool
+	evBuf    [][]Event
+
 	// mu guards the bridge state below (epoch loop writes; accessors and
 	// Report read).
 	mu           sync.Mutex
@@ -78,6 +98,8 @@ type Federation struct {
 	shardLeaders []int          // last observed agreed leader per shard (local ids)
 	pressBase    []int64        // per-shard tier-suspicion baseline since last handoff
 	pressure     uint64         // pressure deposals applied
+	epochs       uint64         // polls completed (drives the retransmit tick)
+	migrations   uint64         // committed migrations executed
 	now          time.Duration
 	closed       bool
 
@@ -108,7 +130,24 @@ type fedConfig struct {
 
 	churnStart, churnPeriod, churnDowntime, churnUntil time.Duration
 	churnSet                                           bool
+
+	lanes   bool
+	workers int
 }
+
+// laneDelivery is one shard-lane delivery queued for the bridge.
+type laneDelivery struct {
+	member  int
+	payload int64
+}
+
+// Retransmit cadence and burst bound of the global lanes: the bridge runs
+// a fedlane Tick every laneTickEvery epochs, re-broadcasting at most
+// laneDecideBatch decide records per shard per tick.
+const (
+	laneTickEvery   = 4
+	laneDecideBatch = 64
+)
 
 // FedOption configures a federation (NewFederation).
 type FedOption interface {
@@ -243,6 +282,38 @@ func FedDelegateChurn(start, period, downtime, until time.Duration) FedOption {
 	})
 }
 
+// FedAppLanes enables the global application lanes: every shard gains an
+// atomic-broadcast lane the bridge routes through the hierarchy, and the
+// Federation grows Propose/Broadcast/Migrate plus the GlobalLog family of
+// accessors. Submissions funnel shard-locally to the delegate, ride the
+// tier's total-order lane stamped with the delegate's incarnation (a
+// deposed delegate can never inject — the same rule that rejects its
+// handoffs), and the tier-ordered decisions diffuse back down every
+// shard's lane, so every live member of every shard delivers the same
+// global sequence. Off by default: the lanes add per-shard consensus
+// machinery, so federations that only need the election do not pay for
+// them (and existing seeds replay unchanged).
+func FedAppLanes() FedOption {
+	return fedOptionFunc(func(c *fedConfig) error { c.lanes = true; return nil })
+}
+
+// FedWorkers sets the worker-pool width of the deterministic epoch loop:
+// on an all-simulated federation each epoch runs the shard slices on n
+// workers (0 = all cores) and merges results — observer events included —
+// in shard-index order at the barrier, so replays stay byte-identical
+// while the wall-clock cost of an epoch drops by roughly the worker count.
+// Ignored on federations with live or network components, whose shards
+// already run concurrently. Default: 1 (sequential).
+func FedWorkers(n int) FedOption {
+	return fedOptionFunc(func(c *fedConfig) error {
+		if n < 0 {
+			return fmt.Errorf("%w: FedWorkers must be >= 0, got %d", ErrInvalidParams, n)
+		}
+		c.workers = n
+		return nil
+	})
+}
+
 // mix64 is SplitMix64's output mix: shard and tier seeds are derived from
 // the federation seed through it so sibling clusters never share delay
 // streams even for adjacent seeds.
@@ -257,7 +328,7 @@ func mix64(x uint64) uint64 {
 // FedShape is required; everything else defaults: shards and tier on the
 // simulated transport, Fig3 everywhere, DefaultFedEpoch bridge cadence.
 func NewFederation(opts ...FedOption) (*Federation, error) {
-	cfg := fedConfig{epoch: DefaultFedEpoch, pressure: DefaultFedPressure}
+	cfg := fedConfig{epoch: DefaultFedEpoch, pressure: DefaultFedPressure, workers: 1}
 	for _, o := range opts {
 		if o == nil {
 			continue
@@ -293,6 +364,11 @@ func NewFederation(opts ...FedOption) (*Federation, error) {
 		f.shardLeaders[s] = None
 		f.dirty[s].Store(true) // evaluate every shard on the first epoch
 	}
+	if cfg.lanes {
+		f.router = fedlane.NewRouter(cfg.shards, cfg.shardSize)
+		f.laneIn = make([][]laneDelivery, cfg.shards)
+	}
+	f.evBuf = make([][]Event, cfg.shards)
 
 	fail := func(err error) (*Federation, error) {
 		f.Close()
@@ -310,13 +386,23 @@ func NewFederation(opts ...FedOption) (*Federation, error) {
 			Seed(mix64(cfg.seed+uint64(s)+1)),
 			// The bridge trigger: any leader-estimate change marks the
 			// shard dirty; observed kinds are forwarded flat-id-translated.
-			Observe(EventLeaderChange|(cfg.observeMask&^EventGlobalLeader), func(ev Event) {
+			Observe(EventLeaderChange|(cfg.observeMask&^(EventGlobalLeader|EventGlobalDecide|EventMigrate)), func(ev Event) {
 				if ev.Kind == EventLeaderChange {
 					f.dirty[s].Store(true)
 				}
 				f.forwardShardEvent(s, ev)
 			}),
 		)
+		if cfg.lanes {
+			// The shard's global-lane endpoint: deliveries queue for the
+			// bridge under laneMu (the callback runs under the shard's
+			// process callback locks and must never take f.mu).
+			shardOpts = append(shardOpts, WithAtomicBroadcast(func(p int, d Delivery) {
+				f.laneMu.Lock()
+				f.laneIn[s] = append(f.laneIn[s], laneDelivery{member: p, payload: d.Payload})
+				f.laneMu.Unlock()
+			}))
+		}
 		c, err := New(shardOpts...)
 		if err != nil {
 			return fail(fmt.Errorf("federation shard %d: %w", s, err))
@@ -351,7 +437,10 @@ func NewFederation(opts ...FedOption) (*Federation, error) {
 // forwardShardEvent relays one shard event to the federation observer with
 // Proc and Leader translated to flat ids. It runs on the shard's execution
 // context (deterministic on sim) and must not take f.mu — on the live
-// transports the caller holds the shard's collector lock.
+// transports the caller holds the shard's collector lock. During a
+// FedWorkers parallel window the translated event is buffered instead
+// (only shard s's worker goroutine writes evBuf[s]) and flushed in
+// shard-index order at the barrier.
 func (f *Federation) forwardShardEvent(s int, ev Event) {
 	if f.cfg.observer == nil || f.cfg.observeMask&ev.Kind == 0 {
 		return
@@ -361,6 +450,10 @@ func (f *Federation) forwardShardEvent(s int, ev Event) {
 	}
 	if ev.Kind == EventLeaderChange && ev.Leader != None {
 		ev.Leader = s*f.cfg.shardSize + ev.Leader
+	}
+	if f.buffered {
+		f.evBuf[s] = append(f.evBuf[s], ev)
+		return
 	}
 	f.cfg.observer(ev)
 }
@@ -474,6 +567,9 @@ func (f *Federation) Run(d time.Duration) error {
 // wall-clock cost of an epoch one step, not shards+1 steps).
 func (f *Federation) runEpoch(step time.Duration) error {
 	if f.seq {
+		if f.cfg.workers != 1 {
+			return f.runEpochParallel(step)
+		}
 		for _, sh := range f.shards {
 			if err := sh.Run(step); err != nil {
 				return err
@@ -504,18 +600,71 @@ func (f *Federation) runEpoch(step time.Duration) error {
 	return nil
 }
 
+// runEpochParallel is the FedWorkers epoch slice: shard simulations are
+// independent between epoch barriers, so they fork onto an internal/par
+// worker pool and join before the tier runs. Everything order-sensitive is
+// merged in shard-index order at the barrier — observer events buffer per
+// shard (forwardShardEvent) and flush sequentially here, the lane inboxes
+// are per-shard by construction, and the tier always runs after the join —
+// so a parallel replay is byte-identical to a sequential one.
+func (f *Federation) runEpochParallel(step time.Duration) error {
+	errs := make([]error, len(f.shards))
+	f.buffered = true
+	par.ForEach(len(f.shards), f.cfg.workers, func(s int) {
+		errs[s] = f.shards[s].Run(step)
+	})
+	f.buffered = false
+	for s := range f.evBuf {
+		for _, ev := range f.evBuf[s] {
+			f.cfg.observer(ev)
+		}
+		f.evBuf[s] = f.evBuf[s][:0]
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return f.tier.Run(step)
+}
+
 // poll is the bridge: it consumes tier deliveries, turns settled shard
 // leader changes into handoffs, applies delegate churn and tier-suspicion
 // pressure, and samples the global leader. Called with f.mu held, after
 // every epoch, in deterministic order.
 func (f *Federation) poll() {
+	f.epochs++
+
+	// 0. Drain the shard lanes (FedAppLanes): offers surfacing on a
+	// shard's lane forward onto the tier's total-order lane stamped with
+	// the shard's current delegate incarnation; decide records advance the
+	// delivering member's global cursor. Shard-index order keeps replays
+	// byte-identical.
+	if f.router != nil {
+		f.laneMu.Lock()
+		lanes := f.laneIn
+		f.laneIn = make([][]laneDelivery, f.cfg.shards)
+		f.laneMu.Unlock()
+		for s, q := range lanes {
+			for _, ld := range q {
+				if submit, fwd := f.router.ShardDelivered(s, ld.member, ld.payload, f.tab.Incarnation(s)); fwd {
+					f.tier.Broadcast(s, submit)
+				}
+			}
+		}
+	}
+
 	// 1. Consume the tier's total-order deliveries. Each frame is counted
 	// once — keyed by payload, not slot: every handoff encodes a fresh
 	// incarnation so payloads are unique per frame, while slot numbers can
 	// recur (heavy delegate churn can wipe every tier member's sequencer
 	// state, and the surviving incarnations re-decide the slot space from
 	// zero). Handoff records from superseded incarnations are rejected
-	// inside the table.
+	// inside the table; submit records from superseded incarnations are
+	// rejected inside the router (and revived by the retransmit tick under
+	// the current incarnation). Payload-keyed dedup is sound for submits
+	// too: a re-forward under the same incarnation is bit-identical — a
+	// true duplicate — while a re-stamp is a fresh payload.
 	f.delMu.Lock()
 	inbox := f.inbox
 	f.inbox = nil
@@ -525,8 +674,48 @@ func (f *Federation) poll() {
 			continue
 		}
 		f.seen[d.Payload] = true
-		if shard, leader, inc, ok := hier.DecodeHandoff(d.Payload); ok {
-			f.tab.Deliver(shard, leader, inc)
+		switch hier.Magic(d.Payload) {
+		case hier.MagicHandoff:
+			if shard, leader, inc, ok := hier.DecodeHandoff(d.Payload); ok {
+				f.tab.Deliver(shard, leader, inc)
+			}
+		case hier.MagicSubmit:
+			if f.router == nil {
+				continue
+			}
+			if e, decide, admit := f.router.TierDelivered(d.Payload, f.tab.Incarnation); admit {
+				f.commitGlobal(e, decide)
+			}
+		}
+	}
+
+	// 1b. Retransmit tick: every laneTickEvery epochs the router computes
+	// what is overdue — lost offers, submits orphaned by delegate churn
+	// (re-stamped with the current incarnation), decides missing from a
+	// shard's lane — and the bridge re-sends each through a live member.
+	// Overdue submits relay through ANY live tier seat: the record itself
+	// carries its shard and incarnation stamp, so a shard whose own seat
+	// is down does not lose its voice (the first forward still goes
+	// through the shard's seat — that is the delegate speaking — and only
+	// the recovery path falls back to a relay).
+	if f.router != nil && f.epochs%laneTickEvery == 0 {
+		rt := f.router.Tick(f.tab.Incarnation, laneDecideBatch)
+		for s := 0; s < f.cfg.shards; s++ {
+			if m := f.liveMember(s); m != None {
+				for _, v := range rt.Offers[s] {
+					f.shards[s].Broadcast(m, v)
+				}
+				for _, v := range rt.Decides[s] {
+					f.shards[s].Broadcast(m, v)
+				}
+			}
+			if len(rt.Submits[s]) > 0 {
+				if seat := f.liveTierSeat(s); seat != None {
+					for _, v := range rt.Submits[s] {
+						f.tier.Broadcast(seat, v)
+					}
+				}
+			}
 		}
 	}
 
@@ -624,6 +813,77 @@ func (f *Federation) handoff(s, leader int) {
 	f.pressBase[s] = f.tierSuspMax(s)
 }
 
+// commitGlobal finalizes one admitted global-lane entry: the decide record
+// diffuses down every shard's lane (through a live member; shards with no
+// live member are covered by the retransmit tick), the observer hears
+// EventGlobalDecide, and a committed migration executes. Called with f.mu
+// held.
+func (f *Federation) commitGlobal(e fedlane.Entry, decide int64) {
+	for s := 0; s < f.cfg.shards; s++ {
+		if m := f.liveMember(s); m != None {
+			f.shards[s].Broadcast(m, decide)
+		}
+	}
+	f.emit(Event{At: f.now, Kind: EventGlobalDecide, Proc: e.Shard*f.cfg.shardSize + e.Origin, Leader: None, Round: int64(e.GSeq)})
+	if e.Kind == fedlane.Migrate {
+		f.execMigrate(e)
+	}
+}
+
+// execMigrate applies a committed cross-shard migration: the process
+// leaves the source shard's window (churn crash) and rejoins the
+// destination in its lowest vacant slot via the fresh-start +
+// JoinCurrentRound ladder. With no vacancy in the destination the delta is
+// a no-op beyond its global-order announcement — membership windows are
+// fixed-size, so an arrival needs a departure's slot.
+func (f *Federation) execMigrate(e fedlane.Entry) {
+	from, p, to := e.Shard, e.Origin, e.To
+	slot := None
+	for m := 0; m < f.cfg.shardSize; m++ {
+		if f.shards[to].Crashed(m) {
+			slot = m
+			break
+		}
+	}
+	if !f.shards[from].Crashed(p) {
+		f.shards[from].eng.crash(p)
+	}
+	if slot == None {
+		return
+	}
+	f.shards[to].eng.restart(slot)
+	f.migrations++
+	f.emit(Event{At: f.now, Kind: EventMigrate, Proc: from*f.cfg.shardSize + p, Leader: to*f.cfg.shardSize + slot})
+}
+
+// liveMember picks shard s's downward-diffusion endpoint: its agreed
+// leader when live, else the lowest live member, else None.
+func (f *Federation) liveMember(s int) int {
+	if l := f.shardLeaders[s]; l != None && !f.shards[s].Crashed(l) {
+		return l
+	}
+	for m := 0; m < f.cfg.shardSize; m++ {
+		if !f.shards[s].Crashed(m) {
+			return m
+		}
+	}
+	return None
+}
+
+// liveTierSeat picks the tier member to relay shard s's overdue submits:
+// the shard's own seat when live, else the lowest live seat, else None.
+func (f *Federation) liveTierSeat(s int) int {
+	if !f.tier.eng.crashed(s) {
+		return s
+	}
+	for m := 0; m < f.cfg.shards; m++ {
+		if !f.tier.eng.crashed(m) {
+			return m
+		}
+	}
+	return None
+}
+
 // tierSuspMax returns the largest suspicion level any live delegate holds
 // against shard s's delegate — the tier's collective doubt about the shard.
 func (f *Federation) tierSuspMax(s int) int64 {
@@ -661,6 +921,14 @@ func (f *Federation) Report() *Report {
 		GlobalChanges:   f.trk.Changes(),
 		Samples:         f.trk.Samples(),
 		TotalViolations: f.mon.Total(),
+	}
+	if f.router != nil {
+		c := f.router.Counters()
+		fr.GlobalDecisions = c.Decisions
+		fr.Redeliveries = c.Redeliveries
+		fr.StaleSubmits = c.Stale
+		fr.DupLaneFrames = c.Dup
+		fr.Migrations = f.migrations
 	}
 	at, ok := f.trk.Stabilization()
 	fr.TierStabilized = ok
@@ -728,6 +996,20 @@ type FederationReport struct {
 	// Pressure counts shard leaders deposed because tier-2 suspicion of
 	// their delegate crossed the FedPressure threshold.
 	Pressure uint64
+
+	// Global-lane counters (FedAppLanes; all zero otherwise).
+	// GlobalDecisions counts entries committed to the global total order;
+	// Redeliveries counts records the retransmit tick re-sent after
+	// churn, partitions or lost frames; Migrations counts executed
+	// cross-shard migrations; StaleSubmits counts submit records rejected
+	// for a superseded delegate incarnation (then revived re-stamped);
+	// DupLaneFrames counts duplicate offers/submits/decides absorbed by
+	// the router's positional dedup.
+	GlobalDecisions uint64
+	Redeliveries    uint64
+	Migrations      uint64
+	StaleSubmits    uint64
+	DupLaneFrames   uint64
 
 	// TierStabilization is when the final global leader took hold on the
 	// federation clock (-1 when the run ended with no global leader);

@@ -1,0 +1,165 @@
+package star
+
+import (
+	"fmt"
+
+	"repro/internal/fedlane"
+)
+
+// GlobalKind classifies one entry of a federation's global total order.
+type GlobalKind uint8
+
+const (
+	// GlobalBroadcast is plain cross-shard total-order broadcast.
+	GlobalBroadcast GlobalKind = iota
+	// GlobalPropose is cross-shard consensus: the payload also lands in
+	// the numbered decision sequence (GlobalDecided).
+	GlobalPropose
+	// GlobalMigrate is a membership delta: the origin process left its
+	// shard and rejoined the destination shard.
+	GlobalMigrate
+)
+
+func (k GlobalKind) String() string {
+	switch k {
+	case GlobalBroadcast:
+		return "broadcast"
+	case GlobalPropose:
+		return "propose"
+	case GlobalMigrate:
+		return "migrate"
+	}
+	return fmt.Sprintf("GlobalKind(%d)", uint8(k))
+}
+
+// GlobalDelivery is one committed entry of the global total order.
+type GlobalDelivery struct {
+	// GSeq is the entry's position in the global sequence.
+	GSeq uint64
+	// Shard and Origin name the submitter (Origin is shard-local; the
+	// flat id is Shard*ShardSize + Origin).
+	Shard, Origin int
+	Kind          GlobalKind
+	Payload       int64
+	// To is the destination shard (GlobalMigrate only).
+	To int
+}
+
+// Broadcast submits payload for global total-order delivery from process p
+// of the given shard (FedAppLanes). The submission rides the shard's own
+// lane to its delegate, the tier's total-order lane fixes its global
+// position, and the decision diffuses back down every shard — every live
+// member of every shard delivers the same global sequence. Like
+// Cluster.Broadcast, a crashed submitter broadcasts nothing (nil), and on
+// deterministic transports the call belongs between Run invocations.
+func (f *Federation) Broadcast(shard, p int, payload int64) error {
+	return f.submit(shard, p, fedlane.Broadcast, payload, 0)
+}
+
+// Propose submits value for global consensus from process p of the given
+// shard (FedAppLanes): Broadcast semantics, plus the committed value lands
+// in the numbered decision sequence read with GlobalDecided.
+func (f *Federation) Propose(shard, p int, value int64) error {
+	return f.submit(shard, p, fedlane.Propose, value, 0)
+}
+
+// Migrate moves process p from one shard's membership window to another's
+// (FedAppLanes; both shards need CapChurn): the delta is announced on the
+// global lane, and when it commits p leaves the source (churn crash) and
+// the destination's lowest vacant slot revives through the fresh-start +
+// JoinCurrentRound ladder as its stand-in. With no vacancy — membership
+// windows are fixed-size — the committed delta is announcement-only.
+// The executed move fires EventMigrate and counts in
+// Report().Federation.Migrations.
+func (f *Federation) Migrate(from, p, to int) error {
+	if from == to {
+		return fmt.Errorf("%w: Migrate needs distinct shards, got %d", ErrInvalidParams, from)
+	}
+	if to < 0 || to >= f.cfg.shards {
+		return fmt.Errorf("%w: shard %d", ErrBadProcess, to)
+	}
+	if from >= 0 && from < f.cfg.shards &&
+		(!f.shards[from].Capabilities().Has(CapChurn) || !f.shards[to].Capabilities().Has(CapChurn)) {
+		return fmt.Errorf("%w: Migrate needs churn on both shards", ErrUnsupported)
+	}
+	return f.submit(from, p, fedlane.Migrate, 0, to)
+}
+
+// submit funnels one submission into the global lanes: the content stays
+// in the router's table and only a positive offer record rides process p's
+// shard lane (so the full payload range is usable).
+func (f *Federation) submit(shard, p int, kind fedlane.Kind, payload int64, to int) error {
+	if shard < 0 || shard >= f.cfg.shards {
+		return fmt.Errorf("%w: shard %d", ErrBadProcess, shard)
+	}
+	if p < 0 || p >= f.cfg.shardSize {
+		return fmt.Errorf("%w: %d", ErrBadProcess, p)
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	if f.router == nil {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: FedAppLanes", ErrNoApp)
+	}
+	if f.shards[shard].Crashed(p) {
+		f.mu.Unlock()
+		return nil // a crashed process submits nothing
+	}
+	offer := f.router.Submit(shard, p, kind, payload, to)
+	f.mu.Unlock()
+	return f.shards[shard].Broadcast(p, offer)
+}
+
+// GlobalSequence returns the committed global total order (a copy): every
+// entry the tier's lane has ordered, across all shards, in commit order.
+func (f *Federation) GlobalSequence() []GlobalDelivery {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.router == nil {
+		return nil
+	}
+	return convertEntries(f.router.Log())
+}
+
+// GlobalLog returns the global entries process p of the given shard has
+// delivered on its own lane — always a prefix of GlobalSequence, and for a
+// never-crashed member of a live shard, eventually all of it. A member
+// that rejoined after a crash keeps its pre-crash prefix (its fresh lane
+// cannot replay old slots): the lanes owe ever-crashed members prefix
+// consistency, never a divergent or reordered sequence.
+func (f *Federation) GlobalLog(shard, p int) []GlobalDelivery {
+	if shard < 0 || shard >= f.cfg.shards || p < 0 || p >= f.cfg.shardSize {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.router == nil {
+		return nil
+	}
+	return convertEntries(f.router.Log()[:f.router.Cursor(shard, p)])
+}
+
+// GlobalDecided returns the i-th committed global consensus decision
+// (GlobalPropose submissions only, in commit order), if there is one.
+func (f *Federation) GlobalDecided(i int) (int64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.router == nil || i < 0 || i >= len(f.router.Decisions()) {
+		return 0, false
+	}
+	return f.router.Decisions()[i], true
+}
+
+func convertEntries(log []fedlane.Entry) []GlobalDelivery {
+	out := make([]GlobalDelivery, len(log))
+	for i, e := range log {
+		out[i] = GlobalDelivery{
+			GSeq: e.GSeq, Shard: e.Shard, Origin: e.Origin,
+			Kind: GlobalKind(e.Kind), Payload: e.Payload, To: e.To,
+		}
+	}
+	return out
+}

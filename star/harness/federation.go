@@ -39,6 +39,19 @@ type FedSpec struct {
 	// Recovery attaches an in-memory recovery journal to every shard and
 	// the tier, so churned incarnations restore instead of rejoining fresh.
 	Recovery bool
+
+	// Traffic, when positive, enables the global application lanes
+	// (FedAppLanes) and drives that many waves of global broadcasts — one
+	// submission per shard per wave, rotating through shard members — on a
+	// deterministic schedule: a stabilization quarter, the waves spread
+	// over the middle half, and a settling tail. The FedResult's Global*
+	// fields report what committed.
+	Traffic int
+
+	// Workers is the fork/join epoch parallelism (FedWorkers): 0 keeps the
+	// sequential default, positive pins that worker count, negative uses
+	// one worker per CPU. Replays are byte-identical at any setting.
+	Workers int
 }
 
 func (s FedSpec) withDefaults() FedSpec {
@@ -71,6 +84,15 @@ type FedResult struct {
 	Events uint64
 	// Elapsed is real (wall-clock) time spent inside Run.
 	Elapsed time.Duration
+
+	// Global lanes (Traffic > 0). GlobalSeq is the committed global
+	// total-order length; GlobalHash fingerprints the committed sequence
+	// (equal hashes mean byte-identical replays); GlobalAgree reports
+	// whether every member's lane log was a prefix of the global sequence,
+	// and the whole of it for never-crashed members.
+	GlobalSeq   int
+	GlobalHash  uint64
+	GlobalAgree bool
 }
 
 // fedOptions translates a defaulted spec into the star option list.
@@ -108,6 +130,15 @@ func (s FedSpec) fedOptions() []star.FedOption {
 			s.DelegateChurnStart, s.DelegateChurnPeriod,
 			s.DelegateChurnDowntime, s.DelegateChurnUntil))
 	}
+	if s.Traffic > 0 {
+		opts = append(opts, star.FedAppLanes())
+	}
+	switch {
+	case s.Workers > 0:
+		opts = append(opts, star.FedWorkers(s.Workers))
+	case s.Workers < 0:
+		opts = append(opts, star.FedWorkers(0)) // one worker per CPU
+	}
 	return opts
 }
 
@@ -122,7 +153,7 @@ func RunFed(spec FedSpec) (*FedResult, error) {
 	}
 	defer f.Close()
 	wall := time.Now()
-	if err := f.Run(spec.Duration); err != nil {
+	if err := runFedSchedule(f, spec); err != nil {
 		return nil, fmt.Errorf("harness: federation: %w", err)
 	}
 	elapsed := time.Since(wall)
@@ -139,7 +170,85 @@ func RunFed(spec FedSpec) (*FedResult, error) {
 	for s := 0; s < f.Shards(); s++ {
 		res.Events += f.Shard(s).Metrics().Events
 	}
+	if spec.Traffic > 0 {
+		seq := f.GlobalSequence()
+		res.GlobalSeq = len(seq)
+		res.GlobalHash = hashGlobal(seq)
+		res.GlobalAgree = globalAgree(f, seq)
+	}
 	return res, nil
+}
+
+// runFedSchedule advances the federation through the spec's virtual
+// horizon. Without traffic it is a single Run; with Traffic > 0 the horizon
+// splits into a stabilization quarter, Traffic submission waves spread over
+// the middle half (one broadcast per shard per wave, the submitting member
+// rotating with the wave), and a settling tail.
+func runFedSchedule(f *star.Federation, spec FedSpec) error {
+	if spec.Traffic <= 0 {
+		return f.Run(spec.Duration)
+	}
+	warm := spec.Duration / 4
+	if err := f.Run(warm); err != nil {
+		return err
+	}
+	slice := spec.Duration / 2 / time.Duration(spec.Traffic)
+	for w := 0; w < spec.Traffic; w++ {
+		for s := 0; s < spec.Shards; s++ {
+			payload := int64(s)*1_000_000 + int64(w)
+			if err := f.Broadcast(s, w%spec.ShardSize, payload); err != nil {
+				return err
+			}
+		}
+		if err := f.Run(slice); err != nil {
+			return err
+		}
+	}
+	return f.Run(spec.Duration - warm - time.Duration(spec.Traffic)*slice)
+}
+
+// hashGlobal fingerprints a committed global sequence (FNV-1a over every
+// field of every entry): equal hashes across runs mean byte-identical
+// global delivery logs.
+func hashGlobal(seq []star.GlobalDelivery) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xFF
+			h *= prime
+		}
+	}
+	for _, e := range seq {
+		mix(e.GSeq)
+		mix(uint64(e.Shard)<<32 | uint64(uint8(e.Kind))<<16 | uint64(uint16(e.Origin)))
+		mix(uint64(e.Payload))
+		mix(uint64(e.To))
+	}
+	return h
+}
+
+// globalAgree checks the lanes' agreement contract against the committed
+// sequence: every member's delivered log is a prefix of it, and a
+// never-crashed member's log is the whole of it.
+func globalAgree(f *star.Federation, seq []star.GlobalDelivery) bool {
+	for s := 0; s < f.Shards(); s++ {
+		for p := 0; p < f.ShardSize(); p++ {
+			log := f.GlobalLog(s, p)
+			if len(log) > len(seq) {
+				return false
+			}
+			if !f.Shard(s).EverCrashed(p) && len(log) != len(seq) {
+				return false
+			}
+			for i, e := range log {
+				if e != seq[i] {
+					return false
+				}
+			}
+		}
+	}
+	return true
 }
 
 // FlatConfig is the federated spec's flat control: one monolithic cluster

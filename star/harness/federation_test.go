@@ -84,6 +84,41 @@ func TestRunFedChurnKnobs(t *testing.T) {
 	}
 }
 
+// TestRunFedTraffic: the Traffic knob drives global-lane waves — every
+// submission commits, every member agrees, and the committed sequence's
+// fingerprint is identical between a sequential and a fork/join parallel
+// run of the same spec (the Workers knob must not perturb the replay).
+func TestRunFedTraffic(t *testing.T) {
+	spec := FedSpec{
+		Shards: 3, ShardSize: 4, Seed: 11, Duration: 8 * time.Second,
+		Traffic: 3,
+	}
+	seqRun, err := RunFed(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := spec.Traffic * spec.Shards; seqRun.GlobalSeq != want {
+		t.Fatalf("GlobalSeq = %d, want %d", seqRun.GlobalSeq, want)
+	}
+	if !seqRun.GlobalAgree {
+		t.Fatal("members disagree on the global sequence")
+	}
+	if seqRun.Federation.GlobalDecisions != uint64(seqRun.GlobalSeq) {
+		t.Fatalf("report GlobalDecisions = %d, want %d",
+			seqRun.Federation.GlobalDecisions, seqRun.GlobalSeq)
+	}
+
+	spec.Workers = -1 // one worker per CPU
+	parRun, err := RunFed(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parRun.GlobalHash != seqRun.GlobalHash || parRun.GlobalSeq != seqRun.GlobalSeq {
+		t.Fatalf("parallel replay diverged: hash %x/%x len %d/%d",
+			parRun.GlobalHash, seqRun.GlobalHash, parRun.GlobalSeq, seqRun.GlobalSeq)
+	}
+}
+
 // TestFlatConfig: the flat control mirrors the federated shape.
 func TestFlatConfig(t *testing.T) {
 	cfg := FlatConfig(FedSpec{Shards: 4, ShardSize: 8, Seed: 3})

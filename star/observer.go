@@ -40,6 +40,15 @@ const (
 	// shard (None when the global leader was lost), Leader the new global
 	// leader as a flat process id (shard*shardSize + local; None on loss).
 	EventGlobalLeader
+	// EventGlobalDecide fires when a federation's global lane commits one
+	// entry to the global total order (Federation runs with FedAppLanes
+	// only). Proc is the submitting origin as a flat process id, Round the
+	// entry's global sequence number.
+	EventGlobalDecide
+	// EventMigrate fires when a committed cross-shard migration executes
+	// (Federation.Migrate). Proc is the migrating process's source flat
+	// id, Leader the flat id of the destination slot it rejoined as.
+	EventMigrate
 
 	// EventAll selects every event class.
 	EventAll EventKind = 1<<iota - 1
